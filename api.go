@@ -1,0 +1,250 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/experiments"
+	"repro/internal/gantt"
+	"repro/internal/gearopt"
+	"repro/internal/jitter"
+	"repro/internal/metrics"
+	"repro/internal/paraver"
+	"repro/internal/phased"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported types: the facade keeps one import path for library users
+// while the implementation stays in focused internal packages.
+type (
+	// Trace is a message-passing execution trace (per-rank record lists).
+	Trace = trace.Trace
+	// Record is one trace event (compute burst, send, recv, collective).
+	Record = trace.Record
+	// GearSet is a DVFS gear set (continuous range or discrete gears).
+	GearSet = dvfs.Set
+	// Gear is one frequency/voltage operating point.
+	Gear = dvfs.Gear
+	// Platform models the interconnect of the replay simulator.
+	Platform = dimemas.Platform
+	// PowerConfig parameterizes the CPU power model.
+	PowerConfig = power.Config
+	// AnalysisConfig parameterizes one end-to-end pipeline run.
+	AnalysisConfig = analysis.Config
+	// AnalysisResult is the outcome of one pipeline run.
+	AnalysisResult = analysis.Result
+	// Assignment is a per-rank gear decision.
+	Assignment = core.Assignment
+	// Algorithm selects the balancing policy (MAX or AVG).
+	Algorithm = core.Algorithm
+	// WorkloadConfig controls synthetic trace generation.
+	WorkloadConfig = workload.Config
+	// WorkloadInstance identifies one application instance (e.g. CG-64).
+	WorkloadInstance = workload.Instance
+	// NormalizedResult holds energy/time/EDP relative to the original run.
+	NormalizedResult = metrics.Result
+	// ExperimentSuite generates, caches and analyzes the paper's workloads.
+	ExperimentSuite = experiments.Suite
+	// Experiment is one runnable table/figure reproduction.
+	Experiment = experiments.Experiment
+)
+
+// Balancing algorithms (§3.1 of the paper).
+const (
+	// MAX balances all processes to the maximum computation time.
+	MAX = core.MAX
+	// AVG balances to the average, over-clocking the most loaded processes.
+	AVG = core.AVG
+)
+
+// Nominal platform constants (§3.3).
+const (
+	// FMax is the manufacturer-specified top frequency in GHz.
+	FMax = dvfs.FMax
+	// FMin is the lowest frequency of the limited gear sets in GHz.
+	FMin = dvfs.FMin
+)
+
+// Analyze runs the full pipeline: replay the original execution, assign
+// per-process gears with the configured algorithm/gear set, replay the
+// rescaled execution, and account CPU energy.
+func Analyze(cfg AnalysisConfig) (*AnalysisResult, error) { return analysis.Run(cfg) }
+
+// CompareAlgorithms runs MAX and AVG on the same trace with their
+// respective gear sets (Figure 10 of the paper).
+func CompareAlgorithms(cfg AnalysisConfig, maxSet, avgSet *GearSet) (*AnalysisResult, *AnalysisResult, error) {
+	return analysis.Compare(cfg, maxSet, avgSet)
+}
+
+// Balancer computes per-rank gear assignments from computation times; use
+// it directly when you already have per-process profiles and do not need
+// the replay pipeline.
+type Balancer = core.Balancer
+
+// NewBalancer builds a Balancer over a gear set with the given memory-
+// boundedness parameter β.
+func NewBalancer(set *GearSet, beta float64) (*Balancer, error) {
+	return core.NewBalancer(set, beta)
+}
+
+// Gear set constructors (§3.3).
+
+// UniformGearSet returns the evenly distributed discrete set with n gears
+// between 0.8 and 2.3 GHz (Table 1 shows n = 6).
+func UniformGearSet(n int) (*GearSet, error) { return dvfs.Uniform(n) }
+
+// ExponentialGearSet returns the exponentially distributed set with n gears
+// (Table 2 shows n = 6).
+func ExponentialGearSet(n int) (*GearSet, error) { return dvfs.Exponential(n) }
+
+// ContinuousUnlimited returns the 0–2.3 GHz continuous set.
+func ContinuousUnlimited() *GearSet { return dvfs.ContinuousUnlimited() }
+
+// ContinuousLimited returns the 0.8–2.3 GHz continuous set.
+func ContinuousLimited() *GearSet { return dvfs.ContinuousLimited() }
+
+// OverclockGear returns the extra (2.6 GHz, 1.6 V) gear the paper adds to
+// the discrete six-gear set for the AVG algorithm.
+func OverclockGear() Gear { return Gear{Freq: dvfs.OverclockFreq, Volt: dvfs.OverclockVolt} }
+
+// Workload generation.
+
+// DefaultWorkloadConfig returns the generation parameters used for the
+// reported experiments (20 iterations, Myrinet-class platform).
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// Applications lists the twelve Table 3 instances.
+func Applications() []WorkloadInstance { return workload.Table3() }
+
+// GenerateWorkload builds the calibrated trace of a Table 3 instance by
+// name (e.g. "IS-64").
+func GenerateWorkload(name string, cfg WorkloadConfig) (*Trace, error) {
+	inst, err := workload.FindInstance(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(inst, cfg)
+}
+
+// GenerateScaled builds a trace for an application at an arbitrary process
+// count, interpolating the Table 3 characteristics (cluster-size studies).
+func GenerateScaled(app string, nprocs int, cfg WorkloadConfig) (*Trace, error) {
+	inst, err := workload.InstanceFor(app, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(inst, cfg)
+}
+
+// DefaultPlatform returns the Myrinet-class interconnect model.
+func DefaultPlatform() Platform { return dimemas.DefaultPlatform() }
+
+// DefaultPowerConfig returns the paper's baseline power model (activity
+// ratio 1.5, static fraction 20%).
+func DefaultPowerConfig() PowerConfig { return power.DefaultConfig() }
+
+// Experiments.
+
+// NewExperimentSuite builds a suite over a generation config.
+func NewExperimentSuite(cfg WorkloadConfig) *ExperimentSuite { return experiments.NewSuite(cfg) }
+
+// AllExperiments lists every table/figure reproduction plus the extensions.
+func AllExperiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds one experiment (e.g. "fig2").
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// Trace construction — describe your own iterative MPI application and run
+// it through the pipeline (see examples/custom_app).
+
+// Collective is the set of modeled collective operations.
+type Collective = trace.Collective
+
+// Collective kinds.
+const (
+	CollBarrier   = trace.CollBarrier
+	CollBcast     = trace.CollBcast
+	CollReduce    = trace.CollReduce
+	CollAllReduce = trace.CollAllReduce
+	CollAllGather = trace.CollAllGather
+	CollAllToAll  = trace.CollAllToAll
+)
+
+// NewTrace returns an empty trace for nranks ranks.
+func NewTrace(app string, nranks int) *Trace { return trace.New(app, nranks) }
+
+// ComputeRecord returns a computation burst of the given seconds (measured
+// at the nominal top frequency).
+func ComputeRecord(seconds float64) Record { return trace.Compute(seconds) }
+
+// SendRecord returns a point-to-point send.
+func SendRecord(peer int, bytes int64, tag int) Record { return trace.Send(peer, bytes, tag) }
+
+// RecvRecord returns a point-to-point receive.
+func RecvRecord(peer int, bytes int64, tag int) Record { return trace.Recv(peer, bytes, tag) }
+
+// CollRecord returns a collective operation; bytes is the per-rank payload.
+func CollRecord(c Collective, bytes int64) Record { return trace.Coll(c, bytes) }
+
+// IterMarkRecord returns an iteration boundary marker.
+func IterMarkRecord() Record { return trace.IterMark() }
+
+// Trace I/O.
+
+// ReadTrace parses a trace in the text format.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// WriteTrace serializes a trace in the text format.
+func WriteTrace(w io.Writer, t *Trace) error { return trace.Write(w, t) }
+
+// RenderGantt writes an ASCII Gantt chart of a recorded run (Figure 1).
+func RenderGantt(w io.Writer, timelines [][]dimemas.Segment, until float64) error {
+	return gantt.Render(w, timelines, until, gantt.Options{})
+}
+
+// Paraver interoperability — the trace format the paper's pipeline starts
+// from.
+
+// ReadParaver imports the supported subset of a Paraver .prv file.
+func ReadParaver(r io.Reader) (*Trace, error) { return paraver.Read(r) }
+
+// WriteParaver exports a trace as a Paraver .prv file for inspection in the
+// Paraver GUI.
+func WriteParaver(w io.Writer, t *Trace) error { return paraver.Write(w, t) }
+
+// Extensions beyond the paper.
+
+// JitterConfig parameterizes the adaptive Jitter runtime emulation — the
+// dynamic system of which the paper's MAX algorithm is the static form.
+type JitterConfig = jitter.Config
+
+// JitterResult reports a Jitter emulation.
+type JitterResult = jitter.Result
+
+// RunJitter emulates the adaptive runtime over a trace.
+func RunJitter(cfg JitterConfig) (*JitterResult, error) { return jitter.Run(cfg) }
+
+// PhasedConfig parameterizes the per-phase MAX extension (one gear per
+// process per computation phase — the paper's PEPC future work).
+type PhasedConfig = phased.Config
+
+// PhasedResult reports a per-phase analysis.
+type PhasedResult = phased.Result
+
+// RunPhased performs the per-phase MAX analysis.
+func RunPhased(cfg PhasedConfig) (*PhasedResult, error) { return phased.Run(cfg) }
+
+// GearSearchConfig parameterizes the gear-placement optimizer.
+type GearSearchConfig = gearopt.Config
+
+// GearSearchResult reports an optimized gear set.
+type GearSearchResult = gearopt.Result
+
+// OptimizeGearSet searches for the n-gear placement minimizing average
+// normalized energy over a set of application traces.
+func OptimizeGearSet(cfg GearSearchConfig) (*GearSearchResult, error) { return gearopt.Optimize(cfg) }

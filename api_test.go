@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickWorkloadConfig() WorkloadConfig {
+	cfg := DefaultWorkloadConfig()
+	cfg.Iterations = 4
+	cfg.SkipPECalibration = true
+	return cfg
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := GenerateWorkload("BT-MZ-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := UniformGearSet(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(AnalysisConfig{Trace: tr, Set: six, Algorithm: MAX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Norm.Energy >= 0.6 {
+		t.Errorf("BT-MZ energy = %v, want big savings", res.Norm.Energy)
+	}
+}
+
+func TestFacadeGearSets(t *testing.T) {
+	if ContinuousUnlimited().Top().Freq != FMax {
+		t.Error("unlimited top")
+	}
+	if ContinuousLimited().Bottom().Freq != FMin {
+		t.Error("limited bottom")
+	}
+	exp, err := ExponentialGearSet(6)
+	if err != nil || exp.Size() != 6 {
+		t.Errorf("exponential: %v %v", exp, err)
+	}
+	oc := OverclockGear()
+	if oc.Freq != 2.6 || oc.Volt != 1.6 {
+		t.Errorf("overclock gear = %v", oc)
+	}
+}
+
+func TestFacadeCompare(t *testing.T) {
+	tr, err := GenerateWorkload("IS-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, _ := UniformGearSet(6)
+	ocSet, err := six.WithOverclockGear(OverclockGear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRes, avgRes, err := CompareAlgorithms(AnalysisConfig{Trace: tr}, six, ocSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRes.Assignment.Overclocked != 0 {
+		t.Error("MAX overclocked")
+	}
+	if avgRes.Norm.Time > maxRes.Norm.Time+1e-9 {
+		t.Errorf("AVG time %v vs MAX %v", avgRes.Norm.Time, maxRes.Norm.Time)
+	}
+}
+
+func TestFacadeScaledGeneration(t *testing.T) {
+	tr, err := GenerateScaled("CG", 16, quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 16 {
+		t.Errorf("ranks = %d", tr.NumRanks())
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	tr, err := GenerateWorkload("CG-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.ComputeTimes(), back.ComputeTimes()
+	for r := range a {
+		if math.Abs(a[r]-b[r]) > 1e-9 {
+			t.Fatalf("rank %d compute differs after round trip", r)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	exps := AllExperiments()
+	if len(exps) < 13 {
+		t.Fatalf("%d experiments", len(exps))
+	}
+	if _, err := ExperimentByID("table1"); err != nil {
+		t.Error(err)
+	}
+	cfg := DefaultWorkloadConfig()
+	cfg.Iterations = 4
+	suite := NewExperimentSuite(cfg)
+	e, err := ExperimentByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(suite, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.30") {
+		t.Errorf("table1 output: %s", buf.String())
+	}
+}
+
+func TestFacadeGantt(t *testing.T) {
+	tr, err := GenerateWorkload("BT-MZ-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(AnalysisConfig{
+		Trace: tr, Set: ContinuousUnlimited(), Algorithm: MAX, RecordTimelines: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, res.Orig.Timeline, res.Orig.Time); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("gantt output lacks compute cells")
+	}
+}
+
+func TestApplicationsList(t *testing.T) {
+	apps := Applications()
+	if len(apps) != 12 {
+		t.Fatalf("%d applications", len(apps))
+	}
+	if apps[0].Name != "BT-MZ-32" {
+		t.Errorf("first = %s", apps[0].Name)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if DefaultPlatform().Bandwidth <= 0 {
+		t.Error("platform")
+	}
+	if DefaultPowerConfig().ActivityRatio != 1.5 {
+		t.Error("power config")
+	}
+	if DefaultWorkloadConfig().Iterations != 20 {
+		t.Error("workload config")
+	}
+}

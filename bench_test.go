@@ -1,0 +1,146 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the extension studies. Each benchmark runs the
+// experiment end to end (workload generation is cached across iterations)
+// and reports the headline normalized-energy numbers as custom metrics so
+// `go test -bench . -benchmem` regenerates every reported artifact:
+//
+//	go test -bench=Figure2 -benchmem
+//
+// Absolute wall-clock numbers measure this simulator, not the paper's
+// PowerPC cluster; the *shape* of the reported metrics is what reproduces
+// the paper (see EXPERIMENTS.md).
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSuite shares generated (calibrated) traces across all benchmarks.
+var benchSuite = experiments.QuickSuite()
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the trace cache outside the timed region.
+	if err := e.Run(benchSuite, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchSuite, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1GearSets(b *testing.B)        { runExperiment(b, "table1") }
+func BenchmarkTable2GearSets(b *testing.B)        { runExperiment(b, "table2") }
+func BenchmarkTable3Characteristics(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkFigure1Gantt(b *testing.B)          { runExperiment(b, "fig1") }
+func BenchmarkFigure3EnergyVsLB(b *testing.B)     { runExperiment(b, "fig3") }
+func BenchmarkFigure4Exponential(b *testing.B)    { runExperiment(b, "fig4") }
+func BenchmarkFigure5Beta(b *testing.B)           { runExperiment(b, "fig5") }
+func BenchmarkFigure6StaticPower(b *testing.B)    { runExperiment(b, "fig6") }
+func BenchmarkFigure7ActivityFactor(b *testing.B) { runExperiment(b, "fig7") }
+func BenchmarkFigure8AVGContinuous(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFigure9AVGDiscrete(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFigure10MaxVsAvg(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkScalingStudy(b *testing.B)          { runExperiment(b, "scaling") }
+func BenchmarkAblateProtocol(b *testing.B)        { runExperiment(b, "ablate-protocol") }
+func BenchmarkAblateCollectives(b *testing.B)     { runExperiment(b, "ablate-coll") }
+func BenchmarkAblateRounding(b *testing.B)        { runExperiment(b, "ablate-rounding") }
+func BenchmarkJitterVsStatic(b *testing.B)        { runExperiment(b, "jitter") }
+func BenchmarkPerPhaseDVFS(b *testing.B)          { runExperiment(b, "phased") }
+func BenchmarkOptimizeGears(b *testing.B)         { runExperiment(b, "optimize-gears") }
+
+// BenchmarkFigure2GearSetSizes additionally reports the headline result of
+// the gear-set study: the average normalized energy of the six-gear set and
+// its gap to the limited continuous set.
+func BenchmarkFigure2GearSetSizes(b *testing.B) {
+	// Warm cache.
+	if _, err := benchSuite.Figure2(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sixAvg, gapAvg float64
+	for i := 0; i < b.N; i++ {
+		sw, err := benchSuite.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sixAvg, gapAvg = 0, 0
+		for _, app := range sw.Apps {
+			six, err := sw.Cell(app, "6g")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lim, err := sw.Cell(app, "limited")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sixAvg += six.Energy
+			gapAvg += six.Energy - lim.Energy
+		}
+		sixAvg /= float64(len(sw.Apps))
+		gapAvg /= float64(len(sw.Apps))
+	}
+	b.ReportMetric(sixAvg*100, "energy6g_%")
+	b.ReportMetric(gapAvg*100, "gap_to_continuous_%")
+}
+
+// Micro-benchmarks of the load-bearing building blocks, so performance
+// regressions in the simulator or the algorithms are visible in isolation.
+
+func BenchmarkSimulateWRF128(b *testing.B) {
+	tr, err := benchSuite.Trace("WRF-128")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(AnalysisConfig{Trace: tr, Set: ContinuousLimited(), Algorithm: MAX}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateIS64(b *testing.B) {
+	cfg := DefaultWorkloadConfig()
+	cfg.Iterations = 5
+	cfg.SkipPECalibration = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWorkload("IS-64", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssignMAX128(b *testing.B) {
+	tr, err := benchSuite.Trace("PEPC-128")
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := tr.ComputeTimes()
+	six, err := UniformGearSet(6)
+	if err != nil {
+		b.Fatal(b)
+	}
+	bal, err := NewBalancer(six, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bal.Assign(MAX, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command gantt renders a trace's execution as an ASCII Gantt chart, before
+// and (optionally) after applying a balancing algorithm — the textual form
+// of the paper's Figure 1.
+//
+// Usage:
+//
+//	gantt is64.trace
+//	gantt -algorithm max -gears 6 is64.trace
+//	gantt -algorithm avg -gears continuous -width 120 bt-mz.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/gantt"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algName = flag.String("algorithm", "max", "balancing algorithm: max or avg")
+		gears   = flag.String("gears", "continuous", `gear set: "continuous", "unlimited" or a gear count like "6"`)
+		width   = flag.Int("width", 100, "chart width in characters")
+		ranks   = flag.Int("ranks", 24, "maximum rank rows to draw")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gantt [flags] <file|->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Read(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	set, err := parseGearSet(*gears)
+	if err != nil {
+		fatal(err)
+	}
+	var alg core.Algorithm
+	switch *algName {
+	case "max":
+		alg = core.MAX
+	case "avg":
+		alg = core.AVG
+		if !set.Continuous() {
+			set, err = set.WithOverclockGear(dvfs.Gear{Freq: dvfs.OverclockFreq, Volt: dvfs.OverclockVolt})
+		} else {
+			set, err = set.ScaleMax(1.10)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want max or avg)", *algName))
+	}
+
+	res, err := analysis.Run(analysis.Config{
+		Trace:           tr,
+		Set:             set,
+		Algorithm:       alg,
+		RecordTimelines: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := gantt.Options{Width: *width, MaxRanks: *ranks}
+	fmt.Printf("%s — original execution (LB %.2f%%, PE %.2f%%)\n\n", tr.App, res.LB*100, res.PE*100)
+	if err := gantt.Render(os.Stdout, res.Orig.Timeline, res.Orig.Time, opts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s — after %s with %s\n\n", tr.App, res.Assignment.Algorithm, set.Name())
+	if err := gantt.Render(os.Stdout, res.New.Timeline, res.New.Time, opts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s; %d/%d CPUs over-clocked\n", res.Norm, res.Assignment.Overclocked, tr.NumRanks())
+}
+
+func parseGearSet(s string) (*dvfs.Set, error) {
+	switch s {
+	case "continuous", "limited":
+		return dvfs.ContinuousLimited(), nil
+	case "unlimited":
+		return dvfs.ContinuousUnlimited(), nil
+	default:
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad gear set %q (want continuous, unlimited or a count)", s)
+		}
+		return dvfs.Uniform(n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gantt:", err)
+	os.Exit(1)
+}

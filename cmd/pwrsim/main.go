@@ -1,0 +1,90 @@
+// Command pwrsim regenerates the tables and figures of "Power-Aware Load
+// Balancing Of Large Scale MPI Applications" (Etinski et al., IPDPS 2009)
+// from the simulation pipeline in this repository.
+//
+// Usage:
+//
+//	pwrsim -list
+//	pwrsim -experiment fig2
+//	pwrsim -experiment all -iterations 20 -out report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		expID    = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		iters    = flag.Int("iterations", 20, "iterations per generated trace")
+		outPath  = flag.String("out", "", "write the report to a file instead of stdout")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress messages on stderr")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker-pool size for sweep cells (results are identical to serial)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	cfg := workload.DefaultConfig()
+	cfg.Iterations = *iters
+	suite := experiments.NewSuite(cfg)
+	suite.Workers = *parallel
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Description)
+		}
+		if err := e.Run(suite, out); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *expID == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*expID)
+	if err != nil {
+		fatal(err)
+	}
+	run(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command tracegen generates a calibrated synthetic application trace and
+// writes it in the text trace format.
+//
+// Usage:
+//
+//	tracegen -app IS-64 -o is64.trace
+//	tracegen -app CG -nprocs 256 -iterations 30 -o cg256.trace
+//	tracegen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/paraver"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "Table 3 instance name (e.g. IS-64) or application name with -nprocs")
+		nprocs  = flag.Int("nprocs", 0, "process count (enables interpolated instances, e.g. -app CG -nprocs 256)")
+		iters   = flag.Int("iterations", 20, "iterations to generate")
+		outPath = flag.String("o", "", "output file (default stdout)")
+		quick   = flag.Bool("quick", false, "skip parallel-efficiency calibration (faster, LB still exact)")
+		format  = flag.String("format", "text", `output format: "text" (native) or "prv" (Paraver)`)
+		list    = flag.Bool("list", false, "list Table 3 instances and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %8s %8s %8s\n", "instance", "nprocs", "LB", "PE")
+		for _, inst := range workload.Table3() {
+			fmt.Printf("%-14s %8d %7.2f%% %7.2f%%\n", inst.Name, inst.NProcs, inst.TargetLB*100, inst.TargetPE*100)
+		}
+		return
+	}
+	if *app == "" {
+		fatal(fmt.Errorf("missing -app (use -list to see instances)"))
+	}
+
+	var inst workload.Instance
+	var err error
+	if *nprocs > 0 {
+		inst, err = workload.InstanceFor(*app, *nprocs)
+	} else {
+		inst, err = workload.FindInstance(*app)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := workload.DefaultConfig()
+	cfg.Iterations = *iters
+	cfg.SkipPECalibration = *quick
+	tr, err := workload.Generate(inst, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = bw
+	}
+	switch *format {
+	case "text":
+		err = trace.Write(out, tr)
+	case "prv":
+		err = paraver.Write(out, tr)
+	default:
+		err = fmt.Errorf("unknown format %q (want text or prv)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %s — %d ranks, %d records\n", inst.Name, tr.NumRanks(), tr.NumRecords())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command traceinfo inspects a trace file: record statistics, per-rank
+// computation-time distribution, and the Table 3 characteristics (load
+// balance, parallel efficiency) measured by replaying it on the default
+// platform.
+//
+// Usage:
+//
+//	traceinfo is64.trace
+//	tracegen -app IS-64 -quick | traceinfo -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/paraver"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: traceinfo <file|->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	// Sniff the header: native traces start with #PWRTRACE, Paraver files
+	// with #Paraver.
+	br := bufio.NewReader(in)
+	head, err := br.Peek(9)
+	if err != nil {
+		fatal(fmt.Errorf("reading input: %w", err))
+	}
+	var tr *trace.Trace
+	if string(head) == "#Paraver " || string(head[:8]) == "#Paraver" {
+		tr, err = paraver.Read(br)
+	} else {
+		tr, err = trace.Read(br)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatal(fmt.Errorf("trace is malformed: %w", err))
+	}
+
+	fmt.Printf("application:   %s\n", tr.App)
+	fmt.Printf("ranks:         %d\n", tr.NumRanks())
+	fmt.Printf("records:       %d\n", tr.NumRecords())
+	fmt.Printf("iterations:    %d\n", tr.Iterations())
+
+	comp := tr.ComputeTimes()
+	sorted := append([]float64(nil), comp...)
+	sort.Float64s(sorted)
+	fmt.Printf("compute (s):   min %.4f  median %.4f  mean %.4f  max %.4f\n",
+		stats.Min(comp), stats.Median(comp), stats.Mean(comp), stats.Max(comp))
+
+	ch, err := workload.Measure(tr, dimemas.DefaultPlatform(), dvfs.FMax)
+	if err != nil {
+		fatal(fmt.Errorf("replay failed: %w", err))
+	}
+	fmt.Printf("exec time:     %.4f s (replayed at %.1f GHz on the default platform)\n", ch.Time, dvfs.FMax)
+	fmt.Printf("load balance:  %.2f%%\n", ch.LB*100)
+	fmt.Printf("parallel eff:  %.2f%%\n", ch.PE*100)
+
+	// Compact per-rank histogram of compute time relative to the maximum.
+	fmt.Println("\nper-rank computation (fraction of max):")
+	const buckets = 10
+	hist := make([]int, buckets)
+	max := stats.Max(comp)
+	for _, c := range comp {
+		b := int(c / max * buckets)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		hist[b]++
+	}
+	for b := 0; b < buckets; b++ {
+		barLen := hist[b]
+		bar := make([]byte, barLen)
+		for i := range bar {
+			bar[i] = '*'
+		}
+		fmt.Printf("  %3d%%-%3d%%  %4d  %s\n", b*10, (b+1)*10, hist[b], string(bar))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

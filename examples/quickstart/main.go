@@ -1,0 +1,52 @@
+// Quickstart: generate one imbalanced application trace, apply the MAX
+// algorithm with the paper's six-gear set, and print the energy outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// IS-64 is NAS Integer Sort on 64 ranks: load balance ~50%, one of the
+	// paper's big winners. Generation is calibrated to Table 3.
+	cfg := repro.DefaultWorkloadConfig()
+	cfg.Iterations = 10
+	tr, err := repro.GenerateWorkload("IS-64", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's Table 1 gear set: 0.8–2.3 GHz in six even steps.
+	six, err := repro.UniformGearSet(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full pipeline: replay original, assign one gear per process so every
+	// process finishes its computation with the most loaded one, replay
+	// again, compare CPU energy.
+	res, err := repro.Analyze(repro.AnalysisConfig{
+		Trace:     tr,
+		Set:       six,
+		Algorithm: repro.MAX,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application:     %s\n", res.App)
+	fmt.Printf("load balance:    %.2f%%\n", res.LB*100)
+	fmt.Printf("parallel eff.:   %.2f%%\n", res.PE*100)
+	fmt.Printf("result:          %s\n", res.Norm)
+	fmt.Printf("energy saved:    %.1f%% of CPU energy\n", res.Norm.Savings()*100)
+
+	fmt.Println("\nper-process gear assignment (first 8 ranks):")
+	for r := 0; r < 8; r++ {
+		fmt.Printf("  rank %d: %s\n", r, res.Assignment.Gears[r])
+	}
+}

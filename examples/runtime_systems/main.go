@@ -1,0 +1,65 @@
+// Runtime systems: compares three generations of DVFS control on the same
+// application — the adaptive Jitter runtime (prior work), the paper's
+// static MAX assignment, and the per-phase extension — on PEPC, the
+// application whose two anti-correlated computation phases defeat any
+// single per-process setting.
+//
+//	go run ./examples/runtime_systems
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultWorkloadConfig()
+	cfg.Iterations = 10
+	tr, err := repro.GenerateWorkload("PEPC-128", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	six, err := repro.UniformGearSet(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Adaptive runtime: per-iteration relative-slack gear control.
+	dyn, err := repro.RunJitter(repro.JitterConfig{Trace: tr, Set: six})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Static per-process MAX (the paper's baseline algorithm).
+	static, err := repro.Analyze(repro.AnalysisConfig{Trace: tr, Set: six, Algorithm: repro.MAX})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Per-phase MAX: one gear per process per computation phase.
+	phasedRes, err := repro.RunPhased(repro.PhasedConfig{Trace: tr, Set: six})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("PEPC-128 (LB %.1f%%, %d computation phases per iteration)\n\n",
+		static.LB*100, phasedRes.Phases)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tenergy\ttime\tnotes")
+	fmt.Fprintln(w, "------\t------\t----\t-----")
+	fmt.Fprintf(w, "Jitter (adaptive)\t%.1f%%\t%.1f%%\t%d gear switches\n",
+		dyn.Norm.Energy*100, dyn.Norm.Time*100, dyn.GearSwitches)
+	fmt.Fprintf(w, "MAX (static, per process)\t%.1f%%\t%.1f%%\tpaper's baseline\n",
+		static.Norm.Energy*100, static.Norm.Time*100)
+	fmt.Fprintf(w, "MAX (static, per phase)\t%.1f%%\t%.1f%%\tpaper's future work\n",
+		phasedRes.Norm.Energy*100, phasedRes.Norm.Time*100)
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nany single per-process setting stretches PEPC (two phases with opposite")
+	fmt.Println("imbalance); assigning gears per phase restores the critical path and saves more.")
+}

@@ -1,0 +1,178 @@
+package repro
+
+// End-to-end integration tests across the whole pipeline, exercising the
+// public API the way the examples and cmd tools do.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFullPipelineAllApplications generates every Table 3 instance (without
+// the slow PE bisection), runs MAX and AVG, and cross-checks the paper's
+// global invariants on each.
+func TestFullPipelineAllApplications(t *testing.T) {
+	cfg := DefaultWorkloadConfig()
+	cfg.Iterations = 4
+	cfg.SkipPECalibration = true
+
+	six, err := UniformGearSet(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocSet, err := six.WithOverclockGear(OverclockGear())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, inst := range Applications() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			tr, err := GenerateWorkload(inst.Name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxRes, avgRes, err := CompareAlgorithms(AnalysisConfig{Trace: tr}, six, ocSet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Load balance matches the paper's characterization.
+			if math.Abs(maxRes.LB-inst.TargetLB) > 0.006 {
+				t.Errorf("LB %.4f vs target %.4f", maxRes.LB, inst.TargetLB)
+			}
+			// MAX never over-clocks; energy never increases.
+			if maxRes.Assignment.Overclocked != 0 {
+				t.Error("MAX overclocked")
+			}
+			if maxRes.Norm.Energy > 1+1e-9 {
+				t.Errorf("MAX energy %.4f above 1", maxRes.Norm.Energy)
+			}
+			// AVG is at least as fast as MAX.
+			if avgRes.Norm.Time > maxRes.Norm.Time+0.005 {
+				t.Errorf("AVG time %.4f above MAX %.4f", avgRes.Norm.Time, maxRes.Norm.Time)
+			}
+			// Savings order: more imbalance, more savings (coarse check on
+			// the extremes only, done across apps below).
+			if maxRes.Norm.Energy <= 0 {
+				t.Errorf("energy %v", maxRes.Norm.Energy)
+			}
+		})
+	}
+}
+
+// TestHeadlineNumbers pins the paper's headline claims with the fully
+// calibrated 20-iteration traces for the two extreme applications.
+func TestHeadlineNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration in short mode")
+	}
+	cfg := DefaultWorkloadConfig() // 20 iterations, PE calibration on
+
+	// BT-MZ-32: up to ~60% CPU energy saving (paper abstract/§6).
+	bt, err := GenerateWorkload("BT-MZ-32", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(AnalysisConfig{Trace: bt, Set: ContinuousUnlimited(), Algorithm: MAX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Norm.Savings(); s < 0.5 || s > 0.8 {
+		t.Errorf("BT-MZ savings %.1f%%, paper reports up to ~60%%", s*100)
+	}
+
+	// CG-32: the best balanced app cannot save anything with the 6-gear
+	// set (paper §5.3.1).
+	cg, err := GenerateWorkload("CG-32", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, _ := UniformGearSet(6)
+	res, err = Analyze(AnalysisConfig{Trace: cg, Set: six, Algorithm: MAX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Norm.Savings() > 0.01 {
+		t.Errorf("CG-32 savings %.2f%%, want ~0", res.Norm.Savings()*100)
+	}
+}
+
+func TestJitterFacade(t *testing.T) {
+	tr, err := GenerateWorkload("IS-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, _ := UniformGearSet(6)
+	res, err := RunJitter(JitterConfig{Trace: tr, Set: six})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Norm.Energy >= 1 {
+		t.Errorf("jitter energy %v on IS-32", res.Norm.Energy)
+	}
+}
+
+func TestPhasedFacade(t *testing.T) {
+	tr, err := GenerateWorkload("PEPC-128", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, _ := UniformGearSet(6)
+	res, err := RunPhased(PhasedConfig{Trace: tr, Set: six})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 2 {
+		t.Errorf("PEPC phases = %d", res.Phases)
+	}
+	if res.Norm.Time > 1.02 {
+		t.Errorf("per-phase PEPC time %v", res.Norm.Time)
+	}
+}
+
+func TestParaverFacadeRoundTrip(t *testing.T) {
+	tr, err := GenerateWorkload("MG-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteParaver(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#Paraver") {
+		t.Error("missing .prv header")
+	}
+	back, err := ReadParaver(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.ComputeTimes(), back.ComputeTimes()
+	for r := range a {
+		if math.Abs(a[r]-b[r]) > 1e-6 {
+			t.Fatalf("rank %d compute differs", r)
+		}
+	}
+}
+
+func TestGearSearchFacade(t *testing.T) {
+	tr, err := GenerateWorkload("BT-MZ-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeGearSet(GearSearchConfig{
+		Traces: []*Trace{tr},
+		NGears: 3,
+		Grid:   0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set.Size() != 3 {
+		t.Errorf("gears = %d", res.Set.Size())
+	}
+	if res.Energy > res.UniformEnergy+0.02 {
+		t.Errorf("optimized %v worse than uniform %v", res.Energy, res.UniformEnergy)
+	}
+}

@@ -1,0 +1,214 @@
+// Package analysis is the paper's power analysis module (§4): it glues the
+// pipeline together. Given a trace, it measures the original execution,
+// assigns one DVFS gear per process according to an algorithm and gear set,
+// replays the rescaled execution, and accounts original vs. new CPU energy.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one analysis run.
+type Config struct {
+	// Trace is the application trace (iterative region only).
+	Trace *trace.Trace
+	// Platform models the interconnect; zero value means DefaultPlatform.
+	Platform dimemas.Platform
+	// Power configures the CPU power model; zero value means the paper's
+	// baseline (ratio 1.5, static 20 %).
+	Power power.Config
+	// Set is the available DVFS gear set.
+	Set *dvfs.Set
+	// Algorithm selects MAX or AVG.
+	Algorithm core.Algorithm
+	// Beta is the memory-boundedness parameter (default 0.5 via
+	// DefaultBeta when negative).
+	Beta float64
+	// FMax is the nominal top frequency (default dvfs.FMax when zero).
+	FMax float64
+	// RecordTimelines retains per-rank execution segments of both runs for
+	// visualization.
+	RecordTimelines bool
+	// Rounding selects the gear-quantization rule; the zero value is the
+	// paper's closest-higher rule.
+	Rounding core.Rounding
+}
+
+// RunStats describes one simulated execution's cost.
+type RunStats struct {
+	Time      float64
+	Energy    float64
+	Breakdown power.Breakdown
+	// Compute is the per-rank computation time (at that run's gears).
+	Compute []float64
+	// Timeline is per-rank segments when Config.RecordTimelines is set.
+	Timeline [][]dimemas.Segment
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	// App names the analyzed trace.
+	App string
+	// Assignment is the per-rank gear decision.
+	Assignment *core.Assignment
+	// Orig is the all-ranks-at-fmax execution; New is the DVFS execution.
+	Orig, New RunStats
+	// Norm holds energy/time/EDP normalized to the original run.
+	Norm metrics.Result
+	// LB and PE are the original execution's characteristics (Table 3).
+	LB, PE float64
+}
+
+// ErrNilTrace reports a missing trace.
+var ErrNilTrace = errors.New("analysis: config needs a trace")
+
+func (c *Config) normalize() error {
+	if c.Trace == nil {
+		return ErrNilTrace
+	}
+	if c.Set == nil {
+		return core.ErrNilSet
+	}
+	if c.Platform == (dimemas.Platform{}) {
+		c.Platform = dimemas.DefaultPlatform()
+	}
+	if c.Power == (power.Config{}) {
+		c.Power = power.DefaultConfig()
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("analysis: negative beta %v", c.Beta)
+	}
+	if c.Beta == 0 {
+		// β = 0 is technically legal in the time model but means DVFS is
+		// free; every study in the paper uses β ≥ 0.3. Treat the zero value
+		// as "unset" for ergonomic configs.
+		c.Beta = timemodel.DefaultBeta
+	}
+	if c.FMax == 0 {
+		c.FMax = dvfs.FMax
+	}
+	if c.FMax < 0 {
+		return fmt.Errorf("analysis: negative fmax %v", c.FMax)
+	}
+	return nil
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	pm, err := power.New(cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+
+	// Original execution: every rank at the nominal top frequency.
+	simOpts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, RecordTimeline: cfg.RecordTimelines}
+	orig, err := dimemas.Simulate(cfg.Trace, cfg.Platform, simOpts)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: original replay: %w", err)
+	}
+	lb, err := metrics.LoadBalance(orig.Compute)
+	if err != nil {
+		return nil, err
+	}
+	pe, err := metrics.ParallelEfficiency(orig.Compute, orig.Time)
+	if err != nil {
+		return nil, err
+	}
+
+	// Frequency assignment from the original per-process computation times.
+	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Rounding: cfg.Rounding}
+	assignment, err := balancer.Assign(cfg.Algorithm, orig.Compute)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay with per-rank frequencies.
+	newOpts := simOpts
+	newOpts.Freqs = assignment.Freqs()
+	next, err := dimemas.Simulate(cfg.Trace, cfg.Platform, newOpts)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: DVFS replay: %w", err)
+	}
+
+	// Energy accounting: each CPU is powered for the whole run at its
+	// assigned gear; whatever is not computation is communication/wait.
+	nominal := dvfs.GearAt(cfg.FMax)
+	origStats, err := runStats(pm, orig, uniformGears(len(orig.Compute), nominal))
+	if err != nil {
+		return nil, err
+	}
+	newStats, err := runStats(pm, next, assignment.Gears)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		App:        cfg.Trace.App,
+		Assignment: assignment,
+		Orig:       origStats,
+		New:        newStats,
+		Norm:       metrics.NewResult(origStats.Energy, origStats.Time, newStats.Energy, newStats.Time),
+		LB:         lb,
+		PE:         pe,
+	}, nil
+}
+
+func uniformGears(n int, g dvfs.Gear) []dvfs.Gear {
+	out := make([]dvfs.Gear, n)
+	for i := range out {
+		out[i] = g
+	}
+	return out
+}
+
+func runStats(pm *power.Model, res *dimemas.Result, gears []dvfs.Gear) (RunStats, error) {
+	usages := make([]power.Usage, len(res.Compute))
+	for r := range usages {
+		usages[r] = power.Usage{
+			Gear:        gears[r],
+			ComputeTime: res.Compute[r],
+			CommTime:    res.Comm(r),
+		}
+	}
+	b, err := pm.EnergyBreakdown(usages)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return RunStats{
+		Time:      res.Time,
+		Energy:    b.Total(),
+		Breakdown: b,
+		Compute:   res.Compute,
+		Timeline:  res.Timeline,
+	}, nil
+}
+
+// Compare runs both MAX and AVG on the same trace with their respective gear
+// sets (the paper's Figure 10 setup) and returns both results.
+func Compare(cfg Config, maxSet, avgSet *dvfs.Set) (maxRes, avgRes *Result, err error) {
+	cfg.Set = maxSet
+	cfg.Algorithm = core.MAX
+	maxRes, err = Run(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: MAX: %w", err)
+	}
+	cfg.Set = avgSet
+	cfg.Algorithm = core.AVG
+	avgRes, err = Run(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: AVG: %w", err)
+	}
+	return maxRes, avgRes, nil
+}

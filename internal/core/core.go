@@ -1,0 +1,227 @@
+// Package core implements the paper's primary contribution: the power-aware
+// load-balancing algorithms that assign one DVFS gear per MPI process so
+// that all processes finish their computation phases at (approximately) the
+// same time (§3.1).
+//
+// MAX (the static form of the Jitter system, prior work used as baseline):
+// the target computation time is the *maximum* original computation time.
+// Every CPU therefore runs at or below the nominal top frequency and the
+// most loaded rank keeps the top gear.
+//
+// AVG (the new algorithm): the target is the *average* original computation
+// time, which requires over-clocking the most loaded ranks. When the load
+// imbalance is so high that the average is unattainable within the available
+// frequency range, the target is moved to the closest attainable time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dvfs"
+	"repro/internal/stats"
+	"repro/internal/timemodel"
+)
+
+// Algorithm selects a frequency-assignment policy.
+type Algorithm int
+
+const (
+	// MAX balances every process to the maximum computation time.
+	MAX Algorithm = iota
+	// AVG balances every process to the average computation time, using
+	// over-clocking for processes above the average.
+	AVG
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case MAX:
+		return "MAX"
+	case AVG:
+		return "AVG"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Assignment is the outcome of one balancing decision.
+type Assignment struct {
+	// Gears holds the per-rank frequency/voltage operating points.
+	Gears []dvfs.Gear
+	// Target is the computation time (seconds) the algorithm balanced to.
+	Target float64
+	// Overclocked counts ranks assigned a frequency above the nominal fmax.
+	Overclocked int
+	// Algorithm records which policy produced the assignment.
+	Algorithm Algorithm
+}
+
+// Freqs returns the per-rank frequencies of the assignment.
+func (a *Assignment) Freqs() []float64 {
+	out := make([]float64, len(a.Gears))
+	for i, g := range a.Gears {
+		out[i] = g.Freq
+	}
+	return out
+}
+
+// OverclockedFraction returns the share of ranks running above nominal fmax.
+func (a *Assignment) OverclockedFraction() float64 {
+	if len(a.Gears) == 0 {
+		return 0
+	}
+	return float64(a.Overclocked) / float64(len(a.Gears))
+}
+
+// Rounding selects how a computed frequency maps onto a discrete gear set.
+type Rounding int
+
+const (
+	// RoundUp picks the closest higher gear — the paper's rule, which
+	// guarantees the balanced computation never exceeds the target time.
+	RoundUp Rounding = iota
+	// RoundNearest picks the closest gear in either direction — an
+	// ablation that saves more energy but may stretch the critical path.
+	RoundNearest
+)
+
+func (r Rounding) String() string {
+	switch r {
+	case RoundUp:
+		return "up"
+	case RoundNearest:
+		return "nearest"
+	default:
+		return fmt.Sprintf("Rounding(%d)", int(r))
+	}
+}
+
+// Balancer computes frequency assignments from per-rank computation times.
+type Balancer struct {
+	// Set is the available gear set (possibly including over-clock gears).
+	Set *dvfs.Set
+	// Beta is the memory-boundedness parameter used to translate time
+	// targets into frequencies.
+	Beta float64
+	// FMax is the manufacturer's nominal top frequency; frequencies above
+	// it count as over-clocking. It need not be the set's top gear (the
+	// AVG variants extend the set beyond FMax).
+	FMax float64
+	// Rounding selects the gear-quantization rule (zero value: the paper's
+	// closest-higher rule).
+	Rounding Rounding
+}
+
+// Errors returned by Assign.
+var (
+	ErrNoRanks = errors.New("core: need at least one rank")
+	ErrNilSet  = errors.New("core: gear set must not be nil")
+)
+
+// NewBalancer builds a Balancer with the paper's nominal fmax.
+func NewBalancer(set *dvfs.Set, beta float64) (*Balancer, error) {
+	b := &Balancer{Set: set, Beta: beta, FMax: dvfs.FMax}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *Balancer) validate() error {
+	if b.Set == nil {
+		return ErrNilSet
+	}
+	if b.Beta < 0 || b.Beta > 1 || math.IsNaN(b.Beta) {
+		return fmt.Errorf("%w (got %v)", timemodel.ErrBadBeta, b.Beta)
+	}
+	if b.FMax <= 0 {
+		return fmt.Errorf("%w (got %v)", timemodel.ErrBadFrequency, b.FMax)
+	}
+	return nil
+}
+
+// Assign computes the per-rank gear assignment for the given algorithm from
+// the per-rank computation times (measured at the nominal top frequency).
+func (b *Balancer) Assign(alg Algorithm, compTimes []float64) (*Assignment, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if len(compTimes) == 0 {
+		return nil, ErrNoRanks
+	}
+	for r, c := range compTimes {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("core: rank %d has invalid computation time %v", r, c)
+		}
+	}
+	var target float64
+	switch alg {
+	case MAX:
+		target = stats.Max(compTimes)
+	case AVG:
+		target = b.attainableAverageTarget(compTimes)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+
+	out := &Assignment{
+		Gears:     make([]dvfs.Gear, len(compTimes)),
+		Target:    target,
+		Algorithm: alg,
+	}
+	for r, c := range compTimes {
+		want := timemodel.RequiredFrequency(b.Beta, b.FMax, c, target)
+		if want <= 0 {
+			// Idle rank: park it at the lowest gear; it has no computation
+			// to stretch, so any frequency keeps it on time.
+			out.Gears[r] = b.Set.Bottom()
+			continue
+		}
+		var g dvfs.Gear
+		switch b.Rounding {
+		case RoundNearest:
+			g = b.Set.QuantizeNearest(want)
+		default:
+			g = b.Set.Quantize(want)
+		}
+		out.Gears[r] = g
+		if g.Freq > b.FMax+1e-12 {
+			out.Overclocked++
+		}
+	}
+	return out, nil
+}
+
+// attainableAverageTarget implements the paper's AVG feasibility rule:
+// "whenever because of high degree of load imbalance it is not possible to
+// scale all computation times to the average value, the frequencies are
+// determined so that the target computation time is the closest one to the
+// average but attainable with the available frequency range."
+//
+// The binding constraint is the most loaded rank at the set's top gear:
+// no rank can finish faster than its time at the maximum available
+// frequency, so the target is max(average, slowest rank's best time).
+func (b *Balancer) attainableAverageTarget(compTimes []float64) float64 {
+	avg := stats.Mean(compTimes)
+	top := b.Set.Top().Freq
+	floor := 0.0
+	for _, c := range compTimes {
+		if t := timemodel.MinAttainableTime(b.Beta, b.FMax, c, top); t > floor {
+			floor = t
+		}
+	}
+	return math.Max(avg, floor)
+}
+
+// PredictedComputeTimes returns each rank's computation time under the
+// assignment, per the β model — useful for verifying that the balancing
+// target is met before running the full replay.
+func (b *Balancer) PredictedComputeTimes(a *Assignment, compTimes []float64) []float64 {
+	out := make([]float64, len(compTimes))
+	for r, c := range compTimes {
+		out[r] = c * timemodel.Slowdown(b.Beta, b.FMax, a.Gears[r].Freq)
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package dimemas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+)
+
+// State labels a timeline segment for visualization.
+type State uint8
+
+const (
+	// StateCompute marks a computation burst.
+	StateCompute State = iota
+	// StateComm marks communication: MPI overhead, transfer and blocked time.
+	StateComm
+)
+
+// Segment is one interval of a rank's timeline.
+type Segment struct {
+	Start, End float64
+	State      State
+}
+
+// Options configure one simulation run.
+type Options struct {
+	// Beta is the default memory-boundedness for compute records without an
+	// explicit override. Zero value 0 is a legal β; use DefaultOptions for
+	// the paper's 0.5.
+	Beta float64
+	// FMax is the nominal top frequency all trace durations refer to.
+	FMax float64
+	// Freqs is the per-rank CPU frequency; nil means every rank runs at
+	// FMax (the original execution).
+	Freqs []float64
+	// RecordTimeline enables per-rank segment collection (Figure 1).
+	RecordTimeline bool
+}
+
+// DefaultOptions returns the paper's baseline: β = 0.5, fmax = 2.3 GHz,
+// every rank at top frequency.
+func DefaultOptions() Options {
+	return Options{Beta: timemodel.DefaultBeta, FMax: 2.3}
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	// Time is the execution time of the whole application (the last rank's
+	// finish).
+	Time float64
+	// Compute is each rank's time spent computing (already rescaled for its
+	// frequency).
+	Compute []float64
+	// Finish is each rank's local finish time.
+	Finish []float64
+	// Timeline holds per-rank segments when Options.RecordTimeline is set.
+	Timeline [][]Segment
+}
+
+// Comm returns rank r's non-compute time over the whole run: the CPU is
+// powered from t=0 to Result.Time, so everything that is not computation is
+// communication, blocking or idle tail.
+func (r *Result) Comm(rank int) float64 { return r.Time - r.Compute[rank] }
+
+// ErrDeadlock reports that the replay stopped with blocked ranks.
+var ErrDeadlock = errors.New("dimemas: deadlock")
+
+type blockKind uint8
+
+const (
+	notBlocked blockKind = iota
+	blockedRecv
+	blockedSend
+	blockedColl
+)
+
+type chanKey struct{ src, dst, tag int }
+
+type sendEntry struct {
+	ready      float64 // sender-side ready time (after overhead)
+	bytes      int64
+	rendezvous bool
+	done       bool    // rendezvous pairing completed
+	end        float64 // rendezvous completion time
+}
+
+type channel struct {
+	sends    []*sendEntry
+	nextSend int // first unpaired entry
+}
+
+type collInstance struct {
+	arrived  int
+	maxReady float64
+	complete bool
+	end      float64
+}
+
+type rankState struct {
+	pc         int
+	clock      float64
+	compute    float64
+	blocked    blockKind
+	blockStart float64
+	sendEntry  *sendEntry // for blockedSend
+	collIdx    int        // next collective index for this rank
+	segs       []Segment
+}
+
+// Simulate replays the trace on the platform. It is deterministic: the same
+// inputs always produce the same result.
+func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.NumRanks()
+	if opts.FMax <= 0 {
+		return nil, fmt.Errorf("dimemas: FMax must be positive, got %v", opts.FMax)
+	}
+	if opts.Beta < 0 || opts.Beta > 1 {
+		return nil, fmt.Errorf("dimemas: beta %v outside [0, 1]", opts.Beta)
+	}
+	freqs := opts.Freqs
+	if freqs == nil {
+		freqs = make([]float64, n)
+		for i := range freqs {
+			freqs[i] = opts.FMax
+		}
+	}
+	if len(freqs) != n {
+		return nil, fmt.Errorf("dimemas: %d frequencies for %d ranks", len(freqs), n)
+	}
+	for r, f := range freqs {
+		if f <= 0 || math.IsNaN(f) {
+			return nil, fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
+		}
+	}
+
+	ranks := make([]rankState, n)
+	channels := map[chanKey]*channel{}
+	var colls []*collInstance
+
+	getChan := func(k chanKey) *channel {
+		c := channels[k]
+		if c == nil {
+			c = &channel{}
+			channels[k] = c
+		}
+		return c
+	}
+	getColl := func(i int) *collInstance {
+		for len(colls) <= i {
+			colls = append(colls, &collInstance{})
+		}
+		return colls[i]
+	}
+	addSeg := func(rs *rankState, start, end float64, st State) {
+		if !opts.RecordTimeline || end <= start {
+			return
+		}
+		// Merge with the previous segment when contiguous and same state.
+		if n := len(rs.segs); n > 0 && rs.segs[n-1].State == st && rs.segs[n-1].End >= start-1e-15 {
+			rs.segs[n-1].End = end
+			return
+		}
+		rs.segs = append(rs.segs, Segment{Start: start, End: end, State: st})
+	}
+
+	// step executes as many records as possible for rank r.
+	// It returns true if at least one record was retired.
+	step := func(r int) bool {
+		rs := &ranks[r]
+		recs := t.Ranks[r]
+		progressed := false
+		for rs.pc < len(recs) {
+			rec := recs[rs.pc]
+			switch rs.blocked {
+			case blockedSend:
+				if !rs.sendEntry.done {
+					return progressed
+				}
+				addSeg(rs, rs.blockStart, rs.sendEntry.end, StateComm)
+				rs.clock = rs.sendEntry.end
+				rs.sendEntry = nil
+				rs.blocked = notBlocked
+				rs.pc++
+				progressed = true
+				continue
+			case blockedColl:
+				ci := getColl(rs.collIdx)
+				if !ci.complete {
+					return progressed
+				}
+				addSeg(rs, rs.blockStart, ci.end, StateComm)
+				rs.clock = ci.end
+				rs.collIdx++
+				rs.blocked = notBlocked
+				rs.pc++
+				progressed = true
+				continue
+			case blockedRecv:
+				// Re-attempt the pairing below with the preserved block
+				// start time.
+			}
+
+			switch rec.Kind {
+			case trace.KindCompute:
+				beta := rec.Beta
+				if beta < 0 {
+					beta = opts.Beta
+				}
+				d := rec.Duration * timemodel.Slowdown(beta, opts.FMax, freqs[r])
+				addSeg(rs, rs.clock, rs.clock+d, StateCompute)
+				rs.clock += d
+				rs.compute += d
+				rs.pc++
+				progressed = true
+
+			case trace.KindSend:
+				start := rs.clock
+				rs.clock += p.Overhead
+				ch := getChan(chanKey{r, rec.Peer, rec.Tag})
+				e := &sendEntry{ready: rs.clock, bytes: rec.Bytes, rendezvous: rec.Bytes > p.EagerLimit}
+				ch.sends = append(ch.sends, e)
+				if e.rendezvous {
+					rs.blocked = blockedSend
+					rs.blockStart = start
+					rs.sendEntry = e
+					// Completion happens when the receiver pairs with us;
+					// stay blocked for now (possibly unblocked this pass if
+					// the receiver already waits — handled on next visit).
+					return progressed
+				}
+				addSeg(rs, start, rs.clock, StateComm)
+				rs.pc++
+				progressed = true
+
+			case trace.KindRecv:
+				if rs.blocked != blockedRecv {
+					rs.blockStart = rs.clock
+					rs.clock += p.Overhead
+				}
+				ch := getChan(chanKey{rec.Peer, r, rec.Tag})
+				if ch.nextSend >= len(ch.sends) {
+					rs.blocked = blockedRecv
+					return progressed
+				}
+				e := ch.sends[ch.nextSend]
+				ch.nextSend++
+				if e.rendezvous {
+					end := math.Max(rs.clock, e.ready) + p.transfer(e.bytes)
+					e.done = true
+					e.end = end
+					rs.clock = end
+				} else {
+					arrival := e.ready + p.transfer(e.bytes)
+					rs.clock = math.Max(rs.clock, arrival)
+				}
+				addSeg(rs, rs.blockStart, rs.clock, StateComm)
+				rs.blocked = notBlocked
+				rs.pc++
+				progressed = true
+
+			case trace.KindColl:
+				ci := getColl(rs.collIdx)
+				ci.arrived++
+				if rs.clock > ci.maxReady {
+					ci.maxReady = rs.clock
+				}
+				if ci.arrived == n {
+					ci.complete = true
+					ci.end = ci.maxReady + p.CollectiveCost(rec.Coll, rec.Bytes, n)
+					addSeg(rs, rs.clock, ci.end, StateComm)
+					rs.clock = ci.end
+					rs.collIdx++
+					rs.pc++
+					progressed = true
+					continue
+				}
+				rs.blocked = blockedColl
+				rs.blockStart = rs.clock
+				return progressed
+
+			case trace.KindIterMark:
+				rs.pc++
+				progressed = true
+
+			default:
+				// Unreachable after Validate; defensive.
+				rs.pc++
+				progressed = true
+			}
+		}
+		return progressed
+	}
+
+	for {
+		progressed := false
+		done := true
+		for r := 0; r < n; r++ {
+			if ranks[r].pc < len(t.Ranks[r]) {
+				if step(r) {
+					progressed = true
+				}
+				if ranks[r].pc < len(t.Ranks[r]) {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if !progressed {
+			return nil, deadlockError(t, ranks)
+		}
+	}
+
+	res := &Result{
+		Compute: make([]float64, n),
+		Finish:  make([]float64, n),
+	}
+	if opts.RecordTimeline {
+		res.Timeline = make([][]Segment, n)
+	}
+	for r := range ranks {
+		res.Compute[r] = ranks[r].compute
+		res.Finish[r] = ranks[r].clock
+		if ranks[r].clock > res.Time {
+			res.Time = ranks[r].clock
+		}
+		if opts.RecordTimeline {
+			res.Timeline[r] = ranks[r].segs
+		}
+	}
+	return res, nil
+}
+
+func deadlockError(t *trace.Trace, ranks []rankState) error {
+	var sb strings.Builder
+	for r := range ranks {
+		if ranks[r].pc >= len(t.Ranks[r]) {
+			continue
+		}
+		rec := t.Ranks[r][ranks[r].pc]
+		fmt.Fprintf(&sb, " rank %d at record %d (%v)", r, ranks[r].pc, rec.Kind)
+	}
+	return fmt.Errorf("%w:%s", ErrDeadlock, sb.String())
+}

@@ -1,0 +1,290 @@
+// Package dvfs models Dynamic Voltage and Frequency Scaling gear sets.
+//
+// A gear is a frequency/voltage pair. The paper (§3.3) studies two continuous
+// sets (unlimited: 0–2.3 GHz; limited: 0.8–2.3 GHz), discrete evenly
+// distributed sets with 2–15 gears, and "exponential" sets with 3–7 gears in
+// which the gap between adjacent frequencies halves toward the top. Voltages
+// follow a linear DVFS scenario through (0.8 GHz, 1.0 V) and (2.3 GHz,
+// 1.5 V); the over-clock gear (2.6 GHz, 1.6 V) lies on the same line.
+package dvfs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Nominal platform constants from the paper (§3.3).
+const (
+	// FMin is the lowest frequency of the limited sets, in GHz.
+	FMin = 0.8
+	// FMax is the manufacturer-specified top frequency, in GHz.
+	FMax = 2.3
+	// VMin is the supply voltage at FMin, in volts.
+	VMin = 1.0
+	// VMax is the supply voltage at FMax, in volts.
+	VMax = 1.5
+	// OverclockFreq and OverclockVolt are the additional gear added to the
+	// discrete six-gear set for the AVG algorithm (§5.3.6).
+	OverclockFreq = 2.6
+	OverclockVolt = 1.6
+)
+
+// ErrEmptySet reports construction of a discrete set without gears.
+var ErrEmptySet = errors.New("dvfs: gear set must contain at least one gear")
+
+// Voltage returns the supply voltage of frequency f (GHz) under the linear
+// DVFS scenario determined by (FMin, VMin) and (FMax, VMax). The line is
+// extrapolated below FMin (for the unlimited continuous set) and above FMax
+// (for over-clocking): Voltage(2.6) = 1.6 V, matching the paper's extra gear.
+func Voltage(f float64) float64 {
+	return VMin + (f-FMin)*(VMax-VMin)/(FMax-FMin)
+}
+
+// Gear is one frequency/voltage operating point.
+type Gear struct {
+	Freq float64 // GHz
+	Volt float64 // V
+}
+
+// GearAt builds the gear for frequency f using the linear voltage model.
+func GearAt(f float64) Gear { return Gear{Freq: f, Volt: Voltage(f)} }
+
+// String renders the gear as "1.40GHz@1.20V".
+func (g Gear) String() string {
+	return fmt.Sprintf("%.2fGHz@%.2fV", g.Freq, g.Volt)
+}
+
+// Set is a DVFS gear set: either continuous over a frequency range or a
+// discrete list of gears. The zero value is not useful; use a constructor.
+type Set struct {
+	name       string
+	continuous bool
+	min, max   float64 // continuous range bounds (GHz)
+	gears      []Gear  // discrete gears, ascending by frequency
+}
+
+// ContinuousUnlimited returns the paper's unlimited continuous set:
+// frequencies from (almost) 0 to 2.3 GHz.
+func ContinuousUnlimited() *Set {
+	return &Set{name: "continuous-unlimited", continuous: true, min: 0, max: FMax}
+}
+
+// ContinuousLimited returns the paper's limited continuous set:
+// frequencies from 0.8 to 2.3 GHz.
+func ContinuousLimited() *Set {
+	return &Set{name: "continuous-limited", continuous: true, min: FMin, max: FMax}
+}
+
+// Continuous returns a continuous set over [min, max] GHz.
+func Continuous(name string, min, max float64) (*Set, error) {
+	if min < 0 || max <= min {
+		return nil, fmt.Errorf("dvfs: invalid continuous range [%v, %v]", min, max)
+	}
+	return &Set{name: name, continuous: true, min: min, max: max}, nil
+}
+
+// Uniform returns the evenly distributed discrete set with n gears between
+// FMin and FMax inclusive (§3.3, Table 1 shows n = 6). n must be ≥ 2.
+func Uniform(n int) (*Set, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dvfs: uniform set needs at least 2 gears, got %d", n)
+	}
+	gears := make([]Gear, n)
+	step := (FMax - FMin) / float64(n-1)
+	for i := range gears {
+		gears[i] = GearAt(FMin + float64(i)*step)
+	}
+	// Pin the endpoints exactly to avoid accumulation error.
+	gears[0] = GearAt(FMin)
+	gears[n-1] = GearAt(FMax)
+	return &Set{name: fmt.Sprintf("uniform-%d", n), gears: gears}, nil
+}
+
+// Exponential returns the exponentially distributed discrete set with n
+// gears: the difference between adjacent frequencies halves toward the top,
+// so most gears sit near FMax (§5.3.2, Table 2 shows n = 6). n must be ≥ 2.
+//
+// With gaps g, g/2, g/4, … summing to FMax − FMin, the n = 6 set is
+// 0.8, 1.57, 1.96, 2.15, 2.25, 2.3 GHz — the paper's Table 2.
+func Exponential(n int) (*Set, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dvfs: exponential set needs at least 2 gears, got %d", n)
+	}
+	// Sum of the n−1 gaps: g·(1 + 1/2 + … + 1/2^(n−2)) = g·(2 − 2^(2−n)).
+	span := FMax - FMin
+	g := span / (2 - math.Pow(2, float64(2-n)))
+	gears := make([]Gear, n)
+	f := FMin
+	for i := 0; i < n; i++ {
+		gears[i] = GearAt(f)
+		f += g / math.Pow(2, float64(i))
+	}
+	gears[0] = GearAt(FMin)
+	gears[n-1] = GearAt(FMax)
+	return &Set{name: fmt.Sprintf("exponential-%d", n), gears: gears}, nil
+}
+
+// FromGears builds a discrete set from explicit gears (any order).
+func FromGears(name string, gears []Gear) (*Set, error) {
+	if len(gears) == 0 {
+		return nil, ErrEmptySet
+	}
+	gs := make([]Gear, len(gears))
+	copy(gs, gears)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Freq < gs[j].Freq })
+	for i, g := range gs {
+		if g.Freq <= 0 {
+			return nil, fmt.Errorf("dvfs: gear %d has non-positive frequency %v", i, g.Freq)
+		}
+	}
+	return &Set{name: name, gears: gs}, nil
+}
+
+// WithOverclockGear returns a copy of a discrete set extended with one extra
+// gear (the paper adds 2.6 GHz / 1.6 V to the uniform six-gear set for AVG).
+// It is an error to call it on a continuous set.
+func (s *Set) WithOverclockGear(g Gear) (*Set, error) {
+	if s.continuous {
+		return nil, fmt.Errorf("dvfs: cannot add a discrete gear to continuous set %q (use ScaleMax)", s.name)
+	}
+	out, err := FromGears(s.name+"+oc", append(append([]Gear{}, s.gears...), g))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScaleMax returns a copy of a continuous set whose upper bound is multiplied
+// by factor (e.g. 1.10 for 10 % over-clocking, §5.3.6). It is an error to
+// call it on a discrete set.
+func (s *Set) ScaleMax(factor float64) (*Set, error) {
+	if !s.continuous {
+		return nil, fmt.Errorf("dvfs: ScaleMax applies to continuous sets, %q is discrete", s.name)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("dvfs: invalid scale factor %v", factor)
+	}
+	return &Set{
+		name:       fmt.Sprintf("%s+oc%.0f%%", s.name, (factor-1)*100),
+		continuous: true,
+		min:        s.min,
+		max:        s.max * factor,
+	}, nil
+}
+
+// Name returns a short identifier such as "uniform-6".
+func (s *Set) Name() string { return s.name }
+
+// Continuous reports whether the set is a continuous frequency range.
+func (s *Set) Continuous() bool { return s.continuous }
+
+// Size returns the number of discrete gears, or 0 for continuous sets.
+func (s *Set) Size() int { return len(s.gears) }
+
+// Gears returns a copy of the discrete gears (nil for continuous sets).
+func (s *Set) Gears() []Gear {
+	if s.continuous {
+		return nil
+	}
+	out := make([]Gear, len(s.gears))
+	copy(out, s.gears)
+	return out
+}
+
+// Top returns the highest gear in the set.
+func (s *Set) Top() Gear {
+	if s.continuous {
+		return GearAt(s.max)
+	}
+	return s.gears[len(s.gears)-1]
+}
+
+// Bottom returns the lowest gear in the set.
+func (s *Set) Bottom() Gear {
+	if s.continuous {
+		return GearAt(s.min)
+	}
+	return s.gears[0]
+}
+
+// Quantize maps a desired frequency onto the set following the paper's rule:
+// "the new frequency is the closest higher frequency from the gear set than
+// the frequency that should be assigned according to the algorithm".
+// Frequencies above the set's top clamp to the top gear; +Inf clamps to top.
+// Frequencies at or below the bottom return the bottom gear for limited sets
+// (and the desired frequency itself for continuous sets whose range reaches
+// that low).
+func (s *Set) Quantize(f float64) Gear {
+	if math.IsInf(f, 1) || f >= s.Top().Freq {
+		return s.Top()
+	}
+	if s.continuous {
+		if f <= s.min {
+			return s.Bottom()
+		}
+		return GearAt(f)
+	}
+	// First gear with Freq >= f (gears are ascending).
+	i := sort.Search(len(s.gears), func(i int) bool { return s.gears[i].Freq >= f })
+	if i == len(s.gears) {
+		return s.Top()
+	}
+	return s.gears[i]
+}
+
+// QuantizeNearest maps a desired frequency onto the nearest gear of the set
+// (by absolute frequency distance), clamping outside the range. Unlike the
+// paper's closest-higher rule (Quantize), this can pick a slower gear and
+// therefore lengthen the balanced computation beyond the target — it exists
+// as an ablation of the rounding rule (DESIGN.md §5).
+func (s *Set) QuantizeNearest(f float64) Gear {
+	if math.IsInf(f, 1) || f >= s.Top().Freq {
+		return s.Top()
+	}
+	if s.continuous {
+		if f <= s.min {
+			return s.Bottom()
+		}
+		return GearAt(f)
+	}
+	i := sort.Search(len(s.gears), func(i int) bool { return s.gears[i].Freq >= f })
+	if i == len(s.gears) {
+		return s.Top()
+	}
+	if i == 0 {
+		return s.gears[0]
+	}
+	if s.gears[i].Freq-f < f-s.gears[i-1].Freq {
+		return s.gears[i]
+	}
+	return s.gears[i-1]
+}
+
+// Contains reports whether frequency f is an operating point of the set
+// (within a small tolerance for discrete sets).
+func (s *Set) Contains(f float64) bool {
+	if s.continuous {
+		return f >= s.min && f <= s.max
+	}
+	for _, g := range s.gears {
+		if math.Abs(g.Freq-f) < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set for reports: name plus the gear list or range.
+func (s *Set) String() string {
+	if s.continuous {
+		return fmt.Sprintf("%s [%.2f–%.2f GHz]", s.name, s.min, s.max)
+	}
+	parts := make([]string, len(s.gears))
+	for i, g := range s.gears {
+		parts[i] = g.String()
+	}
+	return fmt.Sprintf("%s {%s}", s.name, strings.Join(parts, ", "))
+}

@@ -1,0 +1,335 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVoltageLinearModel(t *testing.T) {
+	tests := []struct {
+		f, want float64
+	}{
+		{0.8, 1.0},         // anchor point
+		{2.3, 1.5},         // anchor point
+		{1.1, 1.1},         // Table 1
+		{1.4, 1.2},         // Table 1
+		{1.7, 1.3},         // Table 1
+		{2.0, 1.4},         // Table 1
+		{2.6, 1.6},         // over-clock gear (§5.3.6)
+		{0.0, 1.0 - 0.8/3}, // extrapolation for the unlimited set
+	}
+	for _, tt := range tests {
+		if got := Voltage(tt.f); !feq(got, tt.want, 1e-9) {
+			t.Errorf("Voltage(%v) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+// Table 1 of the paper: six-gear evenly distributed set.
+func TestUniformSixGearMatchesTable1(t *testing.T) {
+	s, err := Uniform(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := []float64{0.8, 1.1, 1.4, 1.7, 2.0, 2.3}
+	wantV := []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5}
+	gears := s.Gears()
+	if len(gears) != 6 {
+		t.Fatalf("got %d gears, want 6", len(gears))
+	}
+	for i, g := range gears {
+		if !feq(g.Freq, wantF[i], 1e-9) {
+			t.Errorf("gear %d freq = %v, want %v", i, g.Freq, wantF[i])
+		}
+		if !feq(g.Volt, wantV[i], 1e-9) {
+			t.Errorf("gear %d volt = %v, want %v", i, g.Volt, wantV[i])
+		}
+	}
+}
+
+// Table 2 of the paper: six-gear exponential set (values printed to 2–3
+// significant digits in the paper: 0.8, 1.57, 1.96, 2.15, 2.25, 2.3).
+func TestExponentialSixGearMatchesTable2(t *testing.T) {
+	s, err := Exponential(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := []float64{0.8, 1.57, 1.96, 2.15, 2.25, 2.3}
+	wantV := []float64{1.0, 1.26, 1.39, 1.45, 1.48, 1.5}
+	gears := s.Gears()
+	if len(gears) != 6 {
+		t.Fatalf("got %d gears, want 6", len(gears))
+	}
+	for i, g := range gears {
+		if !feq(g.Freq, wantF[i], 0.01) {
+			t.Errorf("gear %d freq = %v, want ≈%v", i, g.Freq, wantF[i])
+		}
+		if !feq(g.Volt, wantV[i], 0.01) {
+			t.Errorf("gear %d volt = %v, want ≈%v", i, g.Volt, wantV[i])
+		}
+	}
+}
+
+func TestExponentialGapsHalve(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		s, err := Exponential(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gears := s.Gears()
+		for i := 0; i+2 < len(gears); i++ {
+			gap1 := gears[i+1].Freq - gears[i].Freq
+			gap2 := gears[i+2].Freq - gears[i+1].Freq
+			if !feq(gap1, 2*gap2, 1e-6) {
+				t.Errorf("n=%d: gap %d (%v) is not twice gap %d (%v)", n, i, gap1, i+1, gap2)
+			}
+		}
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := Uniform(1); err == nil {
+		t.Error("Uniform(1) should fail")
+	}
+	if _, err := Exponential(1); err == nil {
+		t.Error("Exponential(1) should fail")
+	}
+	if _, err := Continuous("bad", 2, 1); err == nil {
+		t.Error("Continuous with max<min should fail")
+	}
+	if _, err := Continuous("bad", -1, 1); err == nil {
+		t.Error("Continuous with negative min should fail")
+	}
+	if _, err := FromGears("empty", nil); err == nil {
+		t.Error("FromGears with no gears should fail")
+	}
+	if _, err := FromGears("bad", []Gear{{Freq: -1, Volt: 1}}); err == nil {
+		t.Error("FromGears with negative frequency should fail")
+	}
+}
+
+func TestQuantizeDiscreteClosestHigher(t *testing.T) {
+	s, _ := Uniform(6)
+	tests := []struct {
+		f, want float64
+	}{
+		{0.77, 0.8}, // below bottom clamps up to bottom
+		{0.8, 0.8},  // exact gear
+		{0.81, 1.1}, // closest higher
+		{1.1, 1.1},  // exact gear
+		{1.55, 1.7}, // closest higher
+		{2.25, 2.3}, // closest higher
+		{2.3, 2.3},  // top
+		{3.0, 2.3},  // above top clamps to top
+	}
+	for _, tt := range tests {
+		if got := s.Quantize(tt.f); !feq(got.Freq, tt.want, 1e-9) {
+			t.Errorf("Quantize(%v) = %v, want %v", tt.f, got.Freq, tt.want)
+		}
+	}
+	if g := s.Quantize(math.Inf(1)); !feq(g.Freq, 2.3, 1e-9) {
+		t.Errorf("Quantize(+Inf) = %v, want 2.3", g.Freq)
+	}
+}
+
+func TestQuantizeContinuous(t *testing.T) {
+	lim := ContinuousLimited()
+	if g := lim.Quantize(0.5); !feq(g.Freq, 0.8, 1e-9) {
+		t.Errorf("limited Quantize(0.5) = %v, want clamp to 0.8", g.Freq)
+	}
+	if g := lim.Quantize(1.234); !feq(g.Freq, 1.234, 1e-9) {
+		t.Errorf("limited Quantize(1.234) = %v, want identity", g.Freq)
+	}
+	unl := ContinuousUnlimited()
+	if g := unl.Quantize(0.5); !feq(g.Freq, 0.5, 1e-9) {
+		t.Errorf("unlimited Quantize(0.5) = %v, want identity", g.Freq)
+	}
+	if g := unl.Quantize(5); !feq(g.Freq, 2.3, 1e-9) {
+		t.Errorf("unlimited Quantize(5) = %v, want 2.3", g.Freq)
+	}
+}
+
+func TestOverclockExtensions(t *testing.T) {
+	six, _ := Uniform(6)
+	oc, err := six.WithOverclockGear(Gear{Freq: OverclockFreq, Volt: OverclockVolt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Size() != 7 {
+		t.Fatalf("extended set has %d gears, want 7", oc.Size())
+	}
+	if top := oc.Top(); !feq(top.Freq, 2.6, 1e-9) || !feq(top.Volt, 1.6, 1e-9) {
+		t.Errorf("top gear = %v, want 2.6GHz@1.6V", top)
+	}
+	// Original set must be unchanged.
+	if six.Size() != 6 || !feq(six.Top().Freq, 2.3, 1e-9) {
+		t.Error("WithOverclockGear mutated the source set")
+	}
+
+	lim := ContinuousLimited()
+	oc10, err := lim.ScaleMax(1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(oc10.Top().Freq, 2.3*1.1, 1e-9) {
+		t.Errorf("scaled top = %v, want %v", oc10.Top().Freq, 2.3*1.1)
+	}
+	if !feq(lim.Top().Freq, 2.3, 1e-9) {
+		t.Error("ScaleMax mutated the source set")
+	}
+
+	if _, err := lim.WithOverclockGear(Gear{Freq: 2.6, Volt: 1.6}); err == nil {
+		t.Error("WithOverclockGear on continuous set should fail")
+	}
+	if _, err := six.ScaleMax(1.1); err == nil {
+		t.Error("ScaleMax on discrete set should fail")
+	}
+	if _, err := lim.ScaleMax(0); err == nil {
+		t.Error("ScaleMax(0) should fail")
+	}
+}
+
+func TestContains(t *testing.T) {
+	six, _ := Uniform(6)
+	if !six.Contains(1.4) {
+		t.Error("uniform-6 should contain 1.4")
+	}
+	if six.Contains(1.5) {
+		t.Error("uniform-6 should not contain 1.5")
+	}
+	lim := ContinuousLimited()
+	if !lim.Contains(1.5) || lim.Contains(0.5) || lim.Contains(2.5) {
+		t.Error("continuous Contains range check failed")
+	}
+}
+
+func TestSetMetadata(t *testing.T) {
+	six, _ := Uniform(6)
+	if six.Name() != "uniform-6" || six.Continuous() {
+		t.Errorf("unexpected metadata: %q continuous=%v", six.Name(), six.Continuous())
+	}
+	if got := six.Bottom().Freq; !feq(got, 0.8, 1e-9) {
+		t.Errorf("Bottom = %v, want 0.8", got)
+	}
+	if s := six.String(); s == "" {
+		t.Error("String should not be empty")
+	}
+	if s := ContinuousLimited().String(); s == "" {
+		t.Error("continuous String should not be empty")
+	}
+	exp, _ := Exponential(5)
+	if exp.Name() != "exponential-5" {
+		t.Errorf("name = %q", exp.Name())
+	}
+}
+
+// Property: for any discrete set and any requested frequency below the top,
+// the quantized gear is a member of the set and is >= the request.
+func TestQuantizePropertyDiscrete(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 10, 15} {
+		s, err := Uniform(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(raw float64) bool {
+			f := math.Mod(math.Abs(raw), 3.0)
+			g := s.Quantize(f)
+			if !s.Contains(g.Freq) {
+				return false
+			}
+			if f <= s.Top().Freq && g.Freq < f-1e-9 {
+				return false // quantizing must never slow below request
+			}
+			return true
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Property: quantization is idempotent.
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	s, _ := Exponential(6)
+	prop := func(raw float64) bool {
+		f := math.Mod(math.Abs(raw), 3.0)
+		g1 := s.Quantize(f)
+		g2 := s.Quantize(g1.Freq)
+		return g1 == g2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: voltages in any constructed set follow the linear model.
+func TestGearVoltageConsistencyProperty(t *testing.T) {
+	for n := 2; n <= 15; n++ {
+		u, _ := Uniform(n)
+		for _, g := range u.Gears() {
+			if !feq(g.Volt, Voltage(g.Freq), 1e-9) {
+				t.Errorf("uniform-%d gear %v off the voltage line", n, g)
+			}
+		}
+	}
+	for n := 3; n <= 7; n++ {
+		e, _ := Exponential(n)
+		for _, g := range e.Gears() {
+			if !feq(g.Volt, Voltage(g.Freq), 1e-9) {
+				t.Errorf("exponential-%d gear %v off the voltage line", n, g)
+			}
+		}
+	}
+}
+
+func TestQuantizeNearest(t *testing.T) {
+	s, _ := Uniform(6) // 0.8 1.1 1.4 1.7 2.0 2.3
+	tests := []struct {
+		f, want float64
+	}{
+		{0.5, 0.8},  // below bottom clamps
+		{0.9, 0.8},  // nearer to 0.8
+		{1.0, 1.1},  // nearer to 1.1
+		{1.25, 1.1}, // equidistant: ties resolve to the lower gear
+		{1.3, 1.4},  // nearer to 1.4
+		{2.2, 2.3},  // nearer to top
+		{5.0, 2.3},  // above top clamps
+	}
+	for _, tt := range tests {
+		if got := s.QuantizeNearest(tt.f); feq(got.Freq, tt.want, 1e-9) == false {
+			t.Errorf("QuantizeNearest(%v) = %v, want %v", tt.f, got.Freq, tt.want)
+		}
+	}
+	if g := s.QuantizeNearest(math.Inf(1)); !feq(g.Freq, 2.3, 1e-9) {
+		t.Errorf("QuantizeNearest(+Inf) = %v", g.Freq)
+	}
+	// Continuous sets behave like Quantize (identity within range).
+	lim := ContinuousLimited()
+	if g := lim.QuantizeNearest(1.234); !feq(g.Freq, 1.234, 1e-9) {
+		t.Errorf("continuous QuantizeNearest = %v", g.Freq)
+	}
+	if g := lim.QuantizeNearest(0.1); !feq(g.Freq, 0.8, 1e-9) {
+		t.Errorf("continuous clamp = %v", g.Freq)
+	}
+}
+
+// Property: QuantizeNearest returns a member gear that is at least as close
+// to the request as the closest-higher gear.
+func TestQuantizeNearestProperty(t *testing.T) {
+	s, _ := Uniform(7)
+	prop := func(raw float64) bool {
+		f := math.Mod(math.Abs(raw), 3.0)
+		near := s.QuantizeNearest(f)
+		up := s.Quantize(f)
+		if !s.Contains(near.Freq) {
+			return false
+		}
+		return math.Abs(near.Freq-f) <= math.Abs(up.Freq-f)+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

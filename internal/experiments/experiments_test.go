@@ -1,0 +1,555 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sharedSuite caches generated traces across tests in this package; trace
+// generation (with PE calibration) is the expensive part.
+var sharedSuite = QuickSuite()
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "0.80" || tab.Rows[5][0] != "2.30" {
+		t.Errorf("rows = %v", tab.Rows)
+	}
+	if tab.Rows[5][1] != "1.50" {
+		t.Errorf("top voltage = %v", tab.Rows[5][1])
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"0.80", "1.00"}, {"1.57", "1.26"}, {"1.96", "1.39"}, {"2.15", "1.45"}, {"2.25", "1.48"}, {"2.30", "1.50"}}
+	for i, w := range want {
+		if tab.Rows[i][0] != w[0] || tab.Rows[i][1] != w[1] {
+			t.Errorf("row %d = %v, want %v", i, tab.Rows[i], w)
+		}
+	}
+}
+
+func TestTable3MatchesPaperCharacteristics(t *testing.T) {
+	rows, err := sharedSuite.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.LB-r.PaperLB) > 0.006 {
+			t.Errorf("%s: LB %.4f vs paper %.4f", r.App, r.LB, r.PaperLB)
+		}
+		if math.Abs(r.PE-r.PaperPE) > 0.012 {
+			t.Errorf("%s: PE %.4f vs paper %.4f", r.App, r.PE, r.PaperPE)
+		}
+	}
+	tab := Table3Table(rows)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BT-MZ-32") {
+		t.Error("table output missing apps")
+	}
+}
+
+func TestFigure1RendersBothCharts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sharedSuite.Figure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "original") || !strings.Contains(out, "after MAX") {
+		t.Errorf("missing chart titles:\n%s", out)
+	}
+	// The paper's observation: after MAX almost all time is computation.
+	// Extract the two density numbers.
+	var before, after float64
+	if _, err := fmtSscanf(out, &before, &after); err != nil {
+		t.Fatalf("cannot parse densities: %v\n%s", err, out)
+	}
+	if after <= before {
+		t.Errorf("compute density should rise: %.1f%% -> %.1f%%", before, after)
+	}
+	if after < 75 {
+		t.Errorf("after MAX density %.1f%%, want most time in computation", after)
+	}
+}
+
+// fmtSscanf pulls the two percentages out of the density summary line.
+func fmtSscanf(out string, before, after *float64) (int, error) {
+	idx := strings.Index(out, "compute density:")
+	if idx < 0 {
+		return 0, strings.NewReader("").UnreadByte()
+	}
+	var b, a float64
+	n, err := sscanLine(out[idx:], &b, &a)
+	*before, *after = b, a
+	return n, err
+}
+
+func sscanLine(s string, b, a *float64) (int, error) {
+	var line string
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		line = s[:i]
+	} else {
+		line = s
+	}
+	n, err := parseTwoPercents(line, b, a)
+	return n, err
+}
+
+func parseTwoPercents(line string, b, a *float64) (int, error) {
+	vals := []*float64{b, a}
+	count := 0
+	for i := 0; i < len(line) && count < 2; i++ {
+		if line[i] >= '0' && line[i] <= '9' {
+			j := i
+			for j < len(line) && (line[j] == '.' || (line[j] >= '0' && line[j] <= '9')) {
+				j++
+			}
+			if j < len(line) && line[j] == '%' {
+				var v float64
+				for k := i; k < j; k++ {
+					if line[k] == '.' {
+						frac := 0.1
+						for k++; k < j; k++ {
+							v += float64(line[k]-'0') * frac
+							frac /= 10
+						}
+						break
+					}
+					v = v*10 + float64(line[k]-'0')
+				}
+				*vals[count] = v
+				count++
+			}
+			i = j
+		}
+	}
+	if count != 2 {
+		return count, errNotFound
+	}
+	return count, nil
+}
+
+var errNotFound = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "percentages not found" }
+
+func TestFigure2GearSetTrends(t *testing.T) {
+	sw, err := sharedSuite.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Apps) != 5 || len(sw.Cols) != 16 {
+		t.Fatalf("sweep shape %dx%d", len(sw.Apps), len(sw.Cols))
+	}
+	// BT-MZ needs frequencies below 0.8 GHz: unlimited beats limited.
+	btUnl, _ := sw.Cell("BT-MZ-32", "unlimited")
+	btLim, _ := sw.Cell("BT-MZ-32", "limited")
+	if btUnl.Energy >= btLim.Energy {
+		t.Errorf("BT-MZ: unlimited %.3f should beat limited %.3f", btUnl.Energy, btLim.Energy)
+	}
+	// For moderately imbalanced apps the two continuous sets coincide.
+	for _, app := range []string{"CG-64", "SPECFEM3D-96", "PEPC-128", "WRF-128"} {
+		unl, _ := sw.Cell(app, "unlimited")
+		lim, _ := sw.Cell(app, "limited")
+		if math.Abs(unl.Energy-lim.Energy) > 1e-9 {
+			t.Errorf("%s: unlimited %.4f != limited %.4f", app, unl.Energy, lim.Energy)
+		}
+	}
+	// Six gears land close to the limited continuous set (paper: "six or
+	// seven gears are, on average, close to the continuous case").
+	var gap6 float64
+	for _, app := range sw.Apps {
+		six, _ := sw.Cell(app, "6g")
+		lim, _ := sw.Cell(app, "limited")
+		gap6 += six.Energy - lim.Energy
+	}
+	gap6 /= float64(len(sw.Apps))
+	if gap6 > 0.10 {
+		t.Errorf("average 6-gear gap to continuous = %.3f, want <= 0.10", gap6)
+	}
+	// Even two gears save for very imbalanced applications...
+	bt2, _ := sw.Cell("BT-MZ-32", "2g")
+	if bt2.Energy >= 0.9 {
+		t.Errorf("BT-MZ with 2 gears: energy %.3f, want substantial savings", bt2.Energy)
+	}
+	// ...but not for the balanced ones (they need at least four).
+	cg2, _ := sw.Cell("CG-64", "2g")
+	if cg2.Energy < 0.999 {
+		t.Errorf("CG-64 with 2 gears should not save, got %.3f", cg2.Energy)
+	}
+	// MAX never increases execution time by more than a few percent except
+	// for the two-phase PEPC (paper: worst case 20%).
+	for _, app := range sw.Apps {
+		for j, col := range sw.Cols {
+			c := sw.Cells[index(sw.Apps, app)][j]
+			limit := 1.05
+			if app == "PEPC-128" {
+				// Two phases with different imbalance under a single DVFS
+				// setting: the paper reports up to +20%; our trace peaks a
+				// little higher with the exact continuous assignment.
+				limit = 1.30
+			}
+			if c.Time > limit {
+				t.Errorf("%s/%s: normalized time %.3f above %.2f", app, col, c.Time, limit)
+			}
+		}
+	}
+}
+
+func TestFigure3EnergyCorrelatesWithImbalance(t *testing.T) {
+	sw, err := sharedSuite.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Apps) != 12 {
+		t.Fatalf("%d apps", len(sw.Apps))
+	}
+	// The most balanced app (CG-32) saves ~nothing with six gears; the most
+	// imbalanced (BT-MZ-32) saves the most.
+	cg, _ := sw.Cell("CG-32", "6g")
+	bt, _ := sw.Cell("BT-MZ-32", "6g")
+	if cg.Energy < 0.99 {
+		t.Errorf("CG-32 energy %.3f, want ~1 (highest LB)", cg.Energy)
+	}
+	if bt.Energy > 0.5 {
+		t.Errorf("BT-MZ-32 energy %.3f, want < 0.5", bt.Energy)
+	}
+	// Rough monotone trend: correlation between LB and energy is positive.
+	var corr float64
+	{
+		n := float64(len(sw.Apps))
+		var sx, sy, sxx, syy, sxy float64
+		for i := range sw.Apps {
+			x := sw.LB[i]
+			y := sw.Cells[i][2].Energy // 6g column
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+		den := math.Sqrt((n*sxx - sx*sx) * (n*syy - sy*sy))
+		if den > 0 {
+			corr = (n*sxy - sx*sy) / den
+		}
+	}
+	if corr < 0.7 {
+		t.Errorf("LB/energy correlation = %.2f, want strongly positive", corr)
+	}
+}
+
+func TestFigure4ExponentialSetsHelpBalancedApps(t *testing.T) {
+	sw, err := sharedSuite.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: with uniform sets SPECFEM3D-32 and WRF need >= 4 gears; with
+	// exponential sets three gears already save energy.
+	for _, app := range []string{"SPECFEM3D-32", "WRF-32"} {
+		c, err := sw.Cell(app, "exp3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Energy >= 1.0 {
+			t.Errorf("%s with 3 exponential gears: energy %.3f, want < 1", app, c.Energy)
+		}
+	}
+	// Execution-time increase stays smaller than with uniform sets:
+	// paper reports PEPC <= 6.5% for exponential sets.
+	for i, app := range sw.Apps {
+		for j, col := range sw.Cols {
+			limit := 1.03
+			if app == "PEPC-128" {
+				limit = 1.10
+			}
+			if sw.Cells[i][j].Time > limit {
+				t.Errorf("%s/%s: time %.3f above %.2f", app, col, sw.Cells[i][j].Time, limit)
+			}
+		}
+	}
+}
+
+func TestFigure5MemoryBoundednessIncreasesSavings(t *testing.T) {
+	sw, err := sharedSuite.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower β (more memory bound) must never save less, per app. PEPC's
+	// two-phase execution makes its new execution time (and with it the
+	// normalized energy) wiggle slightly with β, so it gets a tolerance.
+	for i, app := range sw.Apps {
+		tol := 1e-9
+		if app == "PEPC-128" {
+			tol = 0.03
+		}
+		for j := 1; j < len(sw.Cols); j++ {
+			if sw.Cells[i][j].Energy < sw.Cells[i][j-1].Energy-tol {
+				t.Errorf("%s: energy at %s (%.4f) below %s (%.4f); savings should shrink with β",
+					app, sw.Cols[j], sw.Cells[i][j].Energy, sw.Cols[j-1], sw.Cells[i][j-1].Energy)
+			}
+		}
+	}
+	// CG-32 is insensitive (no scaling opportunity at all).
+	i := index(sw.Apps, "CG-32")
+	spread := sw.Cells[i][len(sw.Cols)-1].Energy - sw.Cells[i][0].Energy
+	if math.Abs(spread) > 0.02 {
+		t.Errorf("CG-32 β sensitivity %.3f, want ~0", spread)
+	}
+}
+
+func TestFigure6StaticPowerErodesSavings(t *testing.T) {
+	sw, err := sharedSuite.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range sw.Apps {
+		for j := 1; j < len(sw.Cols); j++ {
+			if sw.Cells[i][j].Energy < sw.Cells[i][j-1].Energy-1e-9 {
+				t.Errorf("%s: energy must not drop as static power grows (%s -> %s)",
+					app, sw.Cols[j-1], sw.Cols[j])
+			}
+		}
+	}
+	// Paper: at 70%+ static the savings halve vs the 20% case. Check on the
+	// most imbalanced app.
+	i := index(sw.Apps, "BT-MZ-32")
+	e20 := sw.Cells[i][2].Energy
+	e70 := sw.Cells[i][7].Energy
+	if (1 - e70) > 0.75*(1-e20) {
+		t.Errorf("BT-MZ savings at 70%% static (%.3f) should be well below the 20%% case (%.3f)", 1-e70, 1-e20)
+	}
+}
+
+func TestFigure7ActivityRatioShiftsEnergy(t *testing.T) {
+	sw, err := sharedSuite.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: all energies stay in (0, 1.05]; the sensitivity depends on
+	// the load balance degree (imbalanced apps shift more).
+	for i, app := range sw.Apps {
+		for j := range sw.Cols {
+			e := sw.Cells[i][j].Energy
+			if e <= 0 || e > 1.05 {
+				t.Errorf("%s/%s: energy %.3f out of range", app, sw.Cols[j], e)
+			}
+		}
+	}
+	spreadOf := func(app string) float64 {
+		i := index(sw.Apps, app)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for j := range sw.Cols {
+			e := sw.Cells[i][j].Energy
+			lo = math.Min(lo, e)
+			hi = math.Max(hi, e)
+		}
+		return hi - lo
+	}
+	if spreadOf("IS-32") <= spreadOf("CG-32") {
+		t.Errorf("imbalanced IS-32 should react to the activity ratio more than CG-32 (%.4f vs %.4f)",
+			spreadOf("IS-32"), spreadOf("CG-32"))
+	}
+}
+
+func TestFigure8AVGSavesForAll(t *testing.T) {
+	sw, err := sharedSuite.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: energy reduced for all applications, between 0.5% (CG-32) and
+	// 63% (BT-MZ).
+	for i, app := range sw.Apps {
+		for j := range sw.Cols {
+			if sw.Cells[i][j].Energy >= 1.0 {
+				t.Errorf("%s/%s: energy %.4f, want < 1", app, sw.Cols[j], sw.Cells[i][j].Energy)
+			}
+		}
+	}
+	bt, _ := sw.Cell("BT-MZ-32", "oc10%")
+	if bt.Energy > 0.45 {
+		t.Errorf("BT-MZ AVG energy %.3f, want large savings", bt.Energy)
+	}
+	cg, _ := sw.Cell("CG-32", "oc10%")
+	if cg.Energy < 0.90 {
+		t.Errorf("CG-32 AVG energy %.3f, want tiny savings", cg.Energy)
+	}
+}
+
+func TestFigure9OverclockSharesFollowImbalance(t *testing.T) {
+	sw, err := sharedSuite.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Very imbalanced applications need very few CPUs over-clocked.
+	for _, app := range []string{"BT-MZ-32", "IS-32", "IS-64", "PEPC-128"} {
+		c, err := sw.Cell(app, "AVG+oc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Overclocked > 0.15 {
+			t.Errorf("%s: %.1f%% CPUs over-clocked, want few", app, c.Overclocked*100)
+		}
+		if c.Overclocked == 0 {
+			t.Errorf("%s: no CPUs over-clocked at all", app)
+		}
+	}
+	// Balanced applications over-clock large shares (paper: SPECFEM3D-32
+	// at 53.13%).
+	var maxShare float64
+	for i := range sw.Apps {
+		maxShare = math.Max(maxShare, sw.Cells[i][0].Overclocked)
+	}
+	if maxShare < 0.35 {
+		t.Errorf("max over-clocked share %.2f, want some app above 35%%", maxShare)
+	}
+	// Execution time decreases for almost all applications; PEPC increases
+	// but less than under MAX (checked in Figure 10 test).
+	fast := 0
+	for i := range sw.Apps {
+		if sw.Cells[i][0].Time < 1 {
+			fast++
+		}
+	}
+	if fast < 10 {
+		t.Errorf("only %d/12 apps got faster under AVG", fast)
+	}
+}
+
+func TestFigure10MaxVsAvg(t *testing.T) {
+	sw, err := sharedSuite.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range sw.Apps {
+		m, a := sw.Cells[i][0], sw.Cells[i][1]
+		// Energy: MAX is better or equal (paper's conclusion).
+		if m.Energy > a.Energy+0.01 {
+			t.Errorf("%s: MAX energy %.3f should not exceed AVG %.3f", app, m.Energy, a.Energy)
+		}
+		// Time: AVG is better.
+		if a.Time > m.Time+0.005 {
+			t.Errorf("%s: AVG time %.3f should not exceed MAX %.3f", app, a.Time, m.Time)
+		}
+		// MAX never over-clocks; AVG does somewhere.
+		if m.Overclocked != 0 {
+			t.Errorf("%s: MAX overclocked %.2f", app, m.Overclocked)
+		}
+	}
+	// PEPC: time grows under MAX (two phases, single setting), less under
+	// AVG.
+	i := index(sw.Apps, "PEPC-128")
+	if sw.Cells[i][0].Time < 1.05 {
+		t.Errorf("PEPC MAX time %.3f, want noticeable increase", sw.Cells[i][0].Time)
+	}
+	if sw.Cells[i][1].Time >= sw.Cells[i][0].Time {
+		t.Errorf("PEPC AVG time %.3f should beat MAX %.3f", sw.Cells[i][1].Time, sw.Cells[i][0].Time)
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	rows, err := sharedSuite.Scaling("SPECFEM3D", []int{32, 64, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// SPECFEM3D imbalance grows (LB falls) with size per Table 3 anchors,
+	// so savings grow too.
+	if rows[2].LB >= rows[0].LB {
+		t.Errorf("LB should fall with size: %v", rows)
+	}
+	if rows[2].Energy >= rows[0].Energy {
+		t.Errorf("savings should grow with size: %v", rows)
+	}
+	tab := ScalingTable("SPECFEM3D", rows)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := sharedSuite.AblateProtocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d protocol rows", len(rows))
+	}
+	rows2, err := sharedSuite.AblateCollectiveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 4 {
+		t.Fatalf("%d collective rows", len(rows2))
+	}
+	var buf bytes.Buffer
+	if err := AblationTable("x", append(rows, rows2...)).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry in short mode")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		var buf bytes.Buffer
+		if err := e.Run(sharedSuite, &buf); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("fig2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestSweepCellLookup(t *testing.T) {
+	sw := &Sweep{Apps: []string{"a"}, Cols: []string{"x"}, Cells: [][]Cell{{{Energy: 0.5}}}}
+	c, err := sw.Cell("a", "x")
+	if err != nil || c.Energy != 0.5 {
+		t.Errorf("Cell = %+v, %v", c, err)
+	}
+	if _, err := sw.Cell("b", "x"); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if _, err := sw.Cell("a", "y"); err == nil {
+		t.Error("unknown col should fail")
+	}
+}

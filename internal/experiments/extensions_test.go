@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJitterVsStatic(t *testing.T) {
+	rows, err := sharedSuite.JitterVsStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The adaptive runtime cannot beat the omniscient static profile by
+		// much; both must stay within sane ranges.
+		if r.DynamicEnergy <= 0 || r.DynamicEnergy > 1.05 {
+			t.Errorf("%s: dynamic energy %v", r.App, r.DynamicEnergy)
+		}
+		if r.App == "CG-32" {
+			// Balanced app: relative slack never triggers, no switches.
+			if r.GearSwitches > 8 {
+				t.Errorf("CG-32: %d gear switches on a balanced app", r.GearSwitches)
+			}
+			if r.DynamicTime > 1.01 {
+				t.Errorf("CG-32: dynamic time %v", r.DynamicTime)
+			}
+		}
+		if r.App == "BT-MZ-32" {
+			if r.DynamicEnergy > 0.8 {
+				t.Errorf("BT-MZ-32: dynamic energy %v, want real savings", r.DynamicEnergy)
+			}
+			if r.GearSwitches == 0 {
+				t.Error("BT-MZ-32: no gear switches on an imbalanced app")
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := JitterTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gear switches") {
+		t.Error("table header missing")
+	}
+}
+
+func TestPerPhaseStudy(t *testing.T) {
+	rows, err := sharedSuite.PerPhaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]PhasedRow{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	pepc, ok := byApp["PEPC-128"]
+	if !ok {
+		t.Fatal("PEPC-128 missing")
+	}
+	if pepc.Phases != 2 {
+		t.Errorf("PEPC phases = %d", pepc.Phases)
+	}
+	// The headline: per-phase assignment repairs PEPC's time inflation and
+	// saves more energy.
+	if pepc.PerProcessTime < 1.05 {
+		t.Errorf("PEPC per-process time %v: expected inflation", pepc.PerProcessTime)
+	}
+	if pepc.PerPhaseTime > 1.02 {
+		t.Errorf("PEPC per-phase time %v, want ~1", pepc.PerPhaseTime)
+	}
+	if pepc.PerPhaseEnergy >= pepc.PerProcessEnergy {
+		t.Errorf("PEPC per-phase energy %v should beat per-process %v",
+			pepc.PerPhaseEnergy, pepc.PerProcessEnergy)
+	}
+	// Single-phase apps are unchanged.
+	bt := byApp["BT-MZ-32"]
+	if bt.Phases != 1 {
+		t.Errorf("BT-MZ phases = %d", bt.Phases)
+	}
+	if diff := bt.PerPhaseEnergy - bt.PerProcessEnergy; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("BT-MZ energies differ: %v vs %v", bt.PerPhaseEnergy, bt.PerProcessEnergy)
+	}
+	var buf bytes.Buffer
+	if err := PhasedTable(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblateRounding(t *testing.T) {
+	rows, err := sharedSuite.AblateRounding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	up := map[string]AblationRow{}
+	nearest := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.Config == "round-up" {
+			up[r.App] = r
+		} else {
+			nearest[r.App] = r
+		}
+	}
+	for app, u := range up {
+		n := nearest[app]
+		// Nearest rounding picks slower-or-equal gears, so the run never
+		// gets faster. Energy can move either way: lower gear power fights
+		// the longer runtime (BT-MZ actually loses energy overall), which
+		// is exactly why the ablation is worth reporting.
+		if n.Time < u.Time-1e-9 {
+			t.Errorf("%s: nearest time %v below round-up %v", app, n.Time, u.Time)
+		}
+		if n.Energy <= 0 || n.Energy > 1.1 {
+			t.Errorf("%s: nearest energy %v out of range", app, n.Energy)
+		}
+	}
+	// The trade must be visible somewhere: at least one app pays time for
+	// the extra energy savings.
+	paid := false
+	for app := range up {
+		if nearest[app].Time > up[app].Time+0.01 {
+			paid = true
+		}
+	}
+	if !paid {
+		t.Error("nearest rounding showed no time penalty on any app")
+	}
+}
+
+func TestOptimizeGearsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search in short mode")
+	}
+	var buf bytes.Buffer
+	if err := sharedSuite.OptimizeGears(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "optimized") || !strings.Contains(out, "uniform") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestParallelSweepMatchesSerial verifies that fanning sweep cells over a
+// worker pool produces bit-identical results to the serial run.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	serial, err := sharedSuite.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := QuickSuite()
+	par.cache = sharedSuite.cache // share generated traces, not the config
+	par.Workers = 8
+	parallel, err := par.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Apps {
+		if serial.LB[i] != parallel.LB[i] {
+			t.Errorf("%s: LB differs", serial.Apps[i])
+		}
+		for j := range serial.Cols {
+			if serial.Cells[i][j] != parallel.Cells[i][j] {
+				t.Errorf("%s/%s: cells differ: %+v vs %+v",
+					serial.Apps[i], serial.Cols[j], serial.Cells[i][j], parallel.Cells[i][j])
+			}
+		}
+	}
+}

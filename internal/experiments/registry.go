@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a runnable, named reproduction of one paper artifact.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(s *Suite, w io.Writer) error
+}
+
+// All returns every experiment, tables first, figures in paper order, then
+// the extensions.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: six-gear evenly distributed set", func(s *Suite, w io.Writer) error {
+			t, err := Table1()
+			if err != nil {
+				return err
+			}
+			return t.Write(w)
+		}},
+		{"table2", "Table 2: six-gear exponential set", func(s *Suite, w io.Writer) error {
+			t, err := Table2()
+			if err != nil {
+				return err
+			}
+			return t.Write(w)
+		}},
+		{"table3", "Table 3: application characteristics (LB, PE)", func(s *Suite, w io.Writer) error {
+			rows, err := s.Table3()
+			if err != nil {
+				return err
+			}
+			return Table3Table(rows).Write(w)
+		}},
+		{"fig1", "Figure 1: BT-MZ execution before/after MAX", func(s *Suite, w io.Writer) error {
+			return s.Figure1(w)
+		}},
+		{"fig2", "Figure 2: normalized energy and EDP for different gear sets", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure2()
+			if err != nil {
+				return err
+			}
+			if err := sw.EnergyTable().Write(w); err != nil {
+				return err
+			}
+			return sw.EDPTable().Write(w)
+		}},
+		{"fig3", "Figure 3: energy as a function of load balance", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure3()
+			if err != nil {
+				return err
+			}
+			return Figure3Table(sw).Write(w)
+		}},
+		{"fig4", "Figure 4: exponential gear sets", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure4()
+			if err != nil {
+				return err
+			}
+			if err := sw.EnergyTable().Write(w); err != nil {
+				return err
+			}
+			return sw.EDPTable().Write(w)
+		}},
+		{"fig5", "Figure 5: impact of the beta parameter", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure5()
+			if err != nil {
+				return err
+			}
+			return sw.EnergyTable().Write(w)
+		}},
+		{"fig6", "Figure 6: energy as a function of static power", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure6()
+			if err != nil {
+				return err
+			}
+			return sw.EnergyTable().Write(w)
+		}},
+		{"fig7", "Figure 7: impact of the activity factor", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure7()
+			if err != nil {
+				return err
+			}
+			return sw.EnergyTable().Write(w)
+		}},
+		{"fig8", "Figure 8: AVG algorithm with continuous set (10%/20% overclock)", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure8()
+			if err != nil {
+				return err
+			}
+			if err := sw.EnergyTable().Write(w); err != nil {
+				return err
+			}
+			return sw.EDPTable().Write(w)
+		}},
+		{"fig9", "Figure 9: AVG algorithm with discrete set", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure9()
+			if err != nil {
+				return err
+			}
+			return Figure9Table(sw).Write(w)
+		}},
+		{"fig10", "Figure 10: comparison of MAX and AVG algorithms", func(s *Suite, w io.Writer) error {
+			sw, err := s.Figure10()
+			if err != nil {
+				return err
+			}
+			return Figure10Table(sw).Write(w)
+		}},
+		{"scaling", "Extension: imbalance and savings vs cluster size", func(s *Suite, w io.Writer) error {
+			for _, app := range []string{"CG", "IS", "SPECFEM3D", "WRF"} {
+				rows, err := s.Scaling(app, []int{16, 32, 64, 128})
+				if err != nil {
+					return err
+				}
+				if err := ScalingTable(app, rows).Write(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"ablate-protocol", "Ablation: eager/rendezvous threshold", func(s *Suite, w io.Writer) error {
+			rows, err := s.AblateProtocol()
+			if err != nil {
+				return err
+			}
+			return AblationTable("Ablation — p2p protocol threshold (MAX, 6-gear)", rows).Write(w)
+		}},
+		{"ablate-coll", "Ablation: linear vs logarithmic all-to-all model", func(s *Suite, w io.Writer) error {
+			rows, err := s.AblateCollectiveModel()
+			if err != nil {
+				return err
+			}
+			return AblationTable("Ablation — all-to-all cost model (MAX, 6-gear)", rows).Write(w)
+		}},
+		{"ablate-rounding", "Ablation: closest-higher vs nearest gear quantization", func(s *Suite, w io.Writer) error {
+			rows, err := s.AblateRounding()
+			if err != nil {
+				return err
+			}
+			return AblationTable("Ablation — gear quantization rule (MAX, 6-gear)", rows).Write(w)
+		}},
+		{"jitter", "Extension: adaptive Jitter runtime vs static MAX", func(s *Suite, w io.Writer) error {
+			rows, err := s.JitterVsStatic()
+			if err != nil {
+				return err
+			}
+			return JitterTable(rows).Write(w)
+		}},
+		{"phased", "Extension: per-phase DVFS assignment (PEPC fix)", func(s *Suite, w io.Writer) error {
+			rows, err := s.PerPhaseStudy()
+			if err != nil {
+				return err
+			}
+			return PhasedTable(rows).Write(w)
+		}},
+		{"optimize-gears", "Extension: coordinate-descent gear placement search", func(s *Suite, w io.Writer) error {
+			return s.OptimizeGears(w)
+		}},
+	}
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}

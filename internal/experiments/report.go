@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		writeRow(tw, t.Header)
+		underline := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			underline[i] = dashes(len(h))
+		}
+		writeRow(tw, underline)
+	}
+	for _, row := range t.Rows {
+		writeRow(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+func dashes(n int) string {
+	if n < 3 {
+		n = 3
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// pct formats a fraction as the paper's percent values.
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }
+
+// EnergyTable renders a sweep's normalized energies (rows: apps).
+func (sw *Sweep) EnergyTable() *Table {
+	return sw.metricTable(sw.Title+" — normalized CPU energy", func(c Cell) string { return pct(c.Energy) })
+}
+
+// EDPTable renders a sweep's normalized EDPs.
+func (sw *Sweep) EDPTable() *Table {
+	return sw.metricTable(sw.Title+" — normalized EDP", func(c Cell) string { return pct(c.EDP) })
+}
+
+// TimeTable renders a sweep's normalized execution times.
+func (sw *Sweep) TimeTable() *Table {
+	return sw.metricTable(sw.Title+" — normalized execution time", func(c Cell) string { return pct(c.Time) })
+}
+
+func (sw *Sweep) metricTable(title string, get func(Cell) string) *Table {
+	t := &Table{Title: title, Header: append([]string{"application"}, sw.Cols...)}
+	for i, app := range sw.Apps {
+		row := []string{app}
+		for _, c := range sw.Cells[i] {
+			row = append(row, get(c))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

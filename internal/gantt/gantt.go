@@ -1,0 +1,121 @@
+// Package gantt renders per-rank execution timelines as ASCII charts — the
+// textual equivalent of the paper's Figure 1 Paraver visualization of BT-MZ
+// before and after the MAX algorithm.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dimemas"
+)
+
+// Options control rendering.
+type Options struct {
+	// Width is the number of character cells on the time axis (default 100).
+	Width int
+	// MaxRanks caps the number of rank rows rendered (default 32); when the
+	// trace has more ranks, evenly spaced representatives are shown.
+	MaxRanks int
+	// ComputeRune and CommRune draw computation and communication cells
+	// (defaults '#' and '.').
+	ComputeRune, CommRune rune
+}
+
+func (o *Options) normalize() {
+	if o.Width <= 0 {
+		o.Width = 100
+	}
+	if o.MaxRanks <= 0 {
+		o.MaxRanks = 32
+	}
+	if o.ComputeRune == 0 {
+		o.ComputeRune = '#'
+	}
+	if o.CommRune == 0 {
+		o.CommRune = '.'
+	}
+}
+
+// Render writes an ASCII Gantt chart of the timelines. Each row is one rank;
+// the time axis is scaled to `until` seconds (use the run's finish time).
+// Cells show computation, communication/wait, or idle (space) after a rank
+// finished.
+func Render(w io.Writer, timelines [][]dimemas.Segment, until float64, opts Options) error {
+	opts.normalize()
+	if until <= 0 {
+		return fmt.Errorf("gantt: horizon must be positive, got %v", until)
+	}
+	if len(timelines) == 0 {
+		return fmt.Errorf("gantt: no timelines")
+	}
+	ranks := pickRanks(len(timelines), opts.MaxRanks)
+	scale := float64(opts.Width) / until
+
+	for _, r := range ranks {
+		row := make([]rune, opts.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, seg := range timelines[r] {
+			lo := int(seg.Start * scale)
+			hi := int(seg.End * scale)
+			if hi >= opts.Width {
+				hi = opts.Width - 1
+			}
+			for i := lo; i <= hi && i >= 0; i++ {
+				// Compute wins over comm when both map to one cell: the
+				// useful signal is where work happens.
+				if seg.State == dimemas.StateCompute {
+					row[i] = opts.ComputeRune
+				} else if row[i] == ' ' {
+					row[i] = opts.CommRune
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%4d |%s|\n", r, string(row)); err != nil {
+			return err
+		}
+	}
+	axis := fmt.Sprintf("%4s +%s+ t=%.3fs", "", strings.Repeat("-", opts.Width), until)
+	if _, err := fmt.Fprintln(w, axis); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%4s  %c compute   %c communication/wait\n", "", opts.ComputeRune, opts.CommRune)
+	return err
+}
+
+// pickRanks returns up to max evenly spaced rank indices.
+func pickRanks(n, max int) []int {
+	if n <= max {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, max)
+	for i := 0; i < max; i++ {
+		out[i] = i * (n - 1) / (max - 1)
+	}
+	return out
+}
+
+// ComputeFraction returns the fraction of the rendered horizon spent
+// computing, summed over all ranks — a quick numeric summary of how "full"
+// the chart is (the paper's before/after comparison in words).
+func ComputeFraction(timelines [][]dimemas.Segment, until float64) float64 {
+	if until <= 0 || len(timelines) == 0 {
+		return 0
+	}
+	var comp float64
+	for _, segs := range timelines {
+		for _, s := range segs {
+			if s.State == dimemas.StateCompute {
+				comp += s.End - s.Start
+			}
+		}
+	}
+	return comp / (until * float64(len(timelines)))
+}

@@ -1,0 +1,113 @@
+package gantt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dimemas"
+)
+
+func sampleTimelines() [][]dimemas.Segment {
+	return [][]dimemas.Segment{
+		{{Start: 0, End: 1, State: dimemas.StateCompute}},
+		{{Start: 0, End: 0.5, State: dimemas.StateCompute}, {Start: 0.5, End: 1, State: dimemas.StateComm}},
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, sampleTimelines(), 1.0, Options{Width: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 2 rank rows + axis + legend.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "####") {
+		t.Errorf("rank 0 row lacks compute cells: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("rank 1 row lacks comm cells: %q", lines[1])
+	}
+	if !strings.Contains(out, "t=1.000s") {
+		t.Errorf("axis missing horizon: %s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, sampleTimelines(), 0, Options{}); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if err := Render(&buf, nil, 1, Options{}); err == nil {
+		t.Error("no timelines should fail")
+	}
+}
+
+func TestRenderCapsRanks(t *testing.T) {
+	many := make([][]dimemas.Segment, 100)
+	for i := range many {
+		many[i] = []dimemas.Segment{{Start: 0, End: 1, State: dimemas.StateCompute}}
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, many, 1, Options{Width: 10, MaxRanks: 8}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 10 { // 8 rows + axis + legend
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// First and last rank must be represented.
+	if !strings.HasPrefix(lines[0], "   0") {
+		t.Errorf("first row: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[7], "  99") {
+		t.Errorf("last row: %q", lines[7])
+	}
+}
+
+func TestPickRanks(t *testing.T) {
+	got := pickRanks(3, 8)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("pickRanks(3,8) = %v", got)
+	}
+	got = pickRanks(100, 5)
+	if len(got) != 5 || got[0] != 0 || got[4] != 99 {
+		t.Errorf("pickRanks(100,5) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("not increasing: %v", got)
+		}
+	}
+}
+
+func TestComputeFraction(t *testing.T) {
+	// Rank 0 computes 100%, rank 1 computes 50%: average 75%.
+	got := ComputeFraction(sampleTimelines(), 1.0)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("ComputeFraction = %v, want 0.75", got)
+	}
+	if ComputeFraction(nil, 1) != 0 {
+		t.Error("empty timelines should give 0")
+	}
+	if ComputeFraction(sampleTimelines(), 0) != 0 {
+		t.Error("zero horizon should give 0")
+	}
+}
+
+func TestCustomRunes(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, sampleTimelines(), 1.0, Options{Width: 10, ComputeRune: 'X', CommRune: '~'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X") || !strings.Contains(buf.String(), "~") {
+		t.Errorf("custom runes not used:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,250 @@
+// Package gearopt searches for the best placement of a fixed number of
+// DVFS gears. The paper asks "which is the most appropriate DVFS gear set
+// size and how frequencies should be distributed" and compares uniform
+// against exponential spacing by hand; this package answers the question
+// constructively with a coordinate-descent search over gear frequencies.
+//
+// The search objective is the average normalized CPU energy of the MAX
+// algorithm over a set of application traces. During the search the
+// execution time is approximated by the original time (MAX keeps it within
+// a couple of percent on single-phase applications), which makes one
+// candidate evaluation a pure model computation — no replay. The final
+// result is re-scored with full replays.
+package gearopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a gear-placement search.
+type Config struct {
+	// Traces are the applications to optimize for.
+	Traces []*trace.Trace
+	// NGears is the gear count of the searched set (≥ 2). The top gear is
+	// pinned at FMax (the critical process must not slow down); all others
+	// move on the grid.
+	NGears int
+	// Platform, Power, Beta, FMax as elsewhere; zero values take defaults.
+	Platform dimemas.Platform
+	Power    power.Config
+	Beta     float64
+	FMax     float64
+	// Grid is the frequency step of the search lattice (default 0.05 GHz).
+	Grid float64
+	// MaxRounds bounds the coordinate-descent rounds (default 8).
+	MaxRounds int
+}
+
+// Result reports an optimized gear set.
+type Result struct {
+	// Set is the optimized gear set.
+	Set *dvfs.Set
+	// SearchEnergy is the objective value under the search approximation.
+	SearchEnergy float64
+	// Energy and UniformEnergy are full-replay average normalized energies
+	// of the optimized set and the uniform set of the same size.
+	Energy, UniformEnergy float64
+	// Rounds and Evaluations count the search effort.
+	Rounds, Evaluations int
+}
+
+// ErrNoTraces reports an empty application list.
+var ErrNoTraces = errors.New("gearopt: need at least one trace")
+
+type appProfile struct {
+	comp       []float64 // per-rank computation time at fmax
+	origTime   float64
+	origEnergy float64
+}
+
+// Optimize runs the search.
+func Optimize(cfg Config) (*Result, error) {
+	if len(cfg.Traces) == 0 {
+		return nil, ErrNoTraces
+	}
+	if cfg.NGears < 2 {
+		return nil, fmt.Errorf("gearopt: need at least 2 gears, got %d", cfg.NGears)
+	}
+	if cfg.Platform == (dimemas.Platform{}) {
+		cfg.Platform = dimemas.DefaultPlatform()
+	}
+	if cfg.Power == (power.Config{}) {
+		cfg.Power = power.DefaultConfig()
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = timemodel.DefaultBeta
+	}
+	if cfg.FMax == 0 {
+		cfg.FMax = dvfs.FMax
+	}
+	if cfg.Grid == 0 {
+		cfg.Grid = 0.05
+	}
+	if cfg.Grid <= 0 {
+		return nil, fmt.Errorf("gearopt: grid step must be positive, got %v", cfg.Grid)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 8
+	}
+	pm, err := power.New(cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+
+	// Profile every application once.
+	profiles := make([]appProfile, len(cfg.Traces))
+	nominal := dvfs.GearAt(cfg.FMax)
+	for i, tr := range cfg.Traces {
+		res, err := dimemas.Simulate(tr, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
+		if err != nil {
+			return nil, fmt.Errorf("gearopt: profiling trace %d: %w", i, err)
+		}
+		usage := make([]power.Usage, len(res.Compute))
+		for r := range usage {
+			usage[r] = power.Usage{Gear: nominal, ComputeTime: res.Compute[r], CommTime: res.Comm(r)}
+		}
+		e, err := pm.Energy(usage)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = appProfile{comp: res.Compute, origTime: res.Time, origEnergy: e}
+	}
+
+	evals := 0
+	objective := func(freqs []float64) (float64, error) {
+		evals++
+		gears := make([]dvfs.Gear, len(freqs))
+		for i, f := range freqs {
+			gears[i] = dvfs.GearAt(f)
+		}
+		set, err := dvfs.FromGears("candidate", gears)
+		if err != nil {
+			return 0, err
+		}
+		bal := &core.Balancer{Set: set, Beta: cfg.Beta, FMax: cfg.FMax}
+		var sum float64
+		for _, p := range profiles {
+			a, err := bal.Assign(core.MAX, p.comp)
+			if err != nil {
+				return 0, err
+			}
+			usage := make([]power.Usage, len(p.comp))
+			for r := range usage {
+				ct := p.comp[r] * timemodel.Slowdown(cfg.Beta, cfg.FMax, a.Gears[r].Freq)
+				usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: math.Max(0, p.origTime-ct)}
+			}
+			e, err := pm.Energy(usage)
+			if err != nil {
+				return 0, err
+			}
+			sum += e / p.origEnergy
+		}
+		return sum / float64(len(profiles)), nil
+	}
+
+	// Start from the uniform placement.
+	freqs := make([]float64, cfg.NGears)
+	step := (cfg.FMax - dvfs.FMin) / float64(cfg.NGears-1)
+	for i := range freqs {
+		freqs[i] = dvfs.FMin + float64(i)*step
+	}
+	freqs[cfg.NGears-1] = cfg.FMax
+	best, err := objective(freqs)
+	if err != nil {
+		return nil, err
+	}
+
+	rounds := 0
+	for ; rounds < cfg.MaxRounds; rounds++ {
+		improved := false
+		// Move every gear but the pinned top one.
+		for i := 0; i < cfg.NGears-1; i++ {
+			lo := dvfs.FMin / 2 // gears may sink below the limited range
+			if i > 0 {
+				lo = freqs[i-1] + cfg.Grid
+			}
+			hi := freqs[i+1] - cfg.Grid
+			bestF := freqs[i]
+			for f := lo; f <= hi+1e-9; f += cfg.Grid {
+				old := freqs[i]
+				freqs[i] = f
+				v, err := objective(freqs)
+				if err != nil {
+					return nil, err
+				}
+				if v < best-1e-9 {
+					best = v
+					bestF = f
+					improved = true
+				}
+				freqs[i] = old
+			}
+			freqs[i] = bestF
+		}
+		if !improved {
+			break
+		}
+	}
+
+	gears := make([]dvfs.Gear, len(freqs))
+	for i, f := range freqs {
+		gears[i] = dvfs.GearAt(f)
+	}
+	set, err := dvfs.FromGears(fmt.Sprintf("optimized-%d", cfg.NGears), gears)
+	if err != nil {
+		return nil, err
+	}
+
+	// Honest final scores with full replays.
+	full, err := fullScore(cfg, set)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := dvfs.Uniform(cfg.NGears)
+	if err != nil {
+		return nil, err
+	}
+	uniformScore, err := fullScore(cfg, uniform)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Set:           set,
+		SearchEnergy:  best,
+		Energy:        full,
+		UniformEnergy: uniformScore,
+		Rounds:        rounds,
+		Evaluations:   evals,
+	}, nil
+}
+
+func fullScore(cfg Config, set *dvfs.Set) (float64, error) {
+	var sum float64
+	for _, tr := range cfg.Traces {
+		res, err := analysis.Run(analysis.Config{
+			Trace:     tr,
+			Platform:  cfg.Platform,
+			Power:     cfg.Power,
+			Set:       set,
+			Algorithm: core.MAX,
+			Beta:      cfg.Beta,
+			FMax:      cfg.FMax,
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Norm.Energy
+	}
+	return sum / float64(len(cfg.Traces)), nil
+}

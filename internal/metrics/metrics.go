@@ -1,0 +1,91 @@
+// Package metrics implements the application-characterization and result
+// metrics of the paper (§5.1): load balance, parallel efficiency, normalized
+// energy and the energy-delay product (EDP).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ErrNoRanks reports an empty computation-time vector.
+var ErrNoRanks = errors.New("metrics: need at least one rank")
+
+// LoadBalance implements eq. 4:
+//
+//	LB = Σ_k ComputationTime_k / (Nproc · max_k ComputationTime_k)
+//
+// It is 1 for perfectly balanced applications and approaches 1/Nproc when a
+// single rank does all the work. Returns an error when compTimes is empty or
+// the maximum computation time is not positive.
+func LoadBalance(compTimes []float64) (float64, error) {
+	if len(compTimes) == 0 {
+		return 0, ErrNoRanks
+	}
+	max := stats.Max(compTimes)
+	if max <= 0 {
+		return 0, fmt.Errorf("metrics: max computation time must be positive, got %v", max)
+	}
+	return stats.Sum(compTimes) / (float64(len(compTimes)) * max), nil
+}
+
+// ParallelEfficiency implements eq. 5:
+//
+//	PE = Σ_k ComputationTime_k / (Nproc · TotalExecutionTime)
+//
+// Total execution time must be positive and at least the maximum per-rank
+// computation time (a rank cannot compute for longer than the run lasts).
+func ParallelEfficiency(compTimes []float64, totalTime float64) (float64, error) {
+	if len(compTimes) == 0 {
+		return 0, ErrNoRanks
+	}
+	if totalTime <= 0 {
+		return 0, fmt.Errorf("metrics: total execution time must be positive, got %v", totalTime)
+	}
+	if max := stats.Max(compTimes); max > totalTime*(1+1e-9) {
+		return 0, fmt.Errorf("metrics: max computation time %v exceeds total time %v", max, totalTime)
+	}
+	return stats.Sum(compTimes) / (float64(len(compTimes)) * totalTime), nil
+}
+
+// EDP returns the energy-delay product.
+func EDP(energy, time float64) float64 { return energy * time }
+
+// Normalized expresses a new value relative to an original one; the paper
+// reports all energies and EDPs normalized to the all-CPUs-at-top-speed run.
+// A non-positive original yields 0 to keep reports printable.
+func Normalized(newVal, origVal float64) float64 {
+	if origVal <= 0 {
+		return 0
+	}
+	return newVal / origVal
+}
+
+// Result collects the normalized outcome of applying one algorithm/gear-set
+// combination to one application, as reported throughout §5.3.
+type Result struct {
+	Energy float64 // new CPU energy / original CPU energy
+	Time   float64 // new execution time / original execution time
+	EDP    float64 // new EDP / original EDP
+}
+
+// NewResult builds a Result from absolute measurements.
+func NewResult(origEnergy, origTime, newEnergy, newTime float64) Result {
+	return Result{
+		Energy: Normalized(newEnergy, origEnergy),
+		Time:   Normalized(newTime, origTime),
+		EDP:    Normalized(EDP(newEnergy, newTime), EDP(origEnergy, origTime)),
+	}
+}
+
+// Savings returns the fractional energy saving (1 − normalized energy).
+func (r Result) Savings() float64 { return 1 - r.Energy }
+
+// String renders the result as percentages, e.g.
+// "energy 62.1% time 101.3% EDP 62.9%".
+func (r Result) String() string {
+	return fmt.Sprintf("energy %.1f%% time %.1f%% EDP %.1f%%",
+		r.Energy*100, r.Time*100, r.EDP*100)
+}

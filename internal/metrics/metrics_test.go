@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadBalance(t *testing.T) {
+	tests := []struct {
+		name  string
+		comp  []float64
+		want  float64
+		isErr bool
+	}{
+		{"perfect balance", []float64{2, 2, 2, 2}, 1.0, false},
+		{"one idle rank", []float64{2, 2, 2, 0}, 0.75, false},
+		{"single worker", []float64{4, 0, 0, 0}, 0.25, false},
+		{"linear ramp", []float64{1, 2, 3, 4}, 10.0 / 16.0, false},
+		{"single rank", []float64{5}, 1.0, false},
+		{"empty", nil, 0, true},
+		{"all zero", []float64{0, 0}, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := LoadBalance(tt.comp)
+			if (err != nil) != tt.isErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.isErr)
+			}
+			if err == nil && math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("LB = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParallelEfficiency(t *testing.T) {
+	// 4 ranks computing 1,2,3,4 seconds in a 5 second run: PE = 10/20 = 0.5.
+	got, err := ParallelEfficiency([]float64{1, 2, 3, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PE = %v, want 0.5", got)
+	}
+	if _, err := ParallelEfficiency(nil, 5); err == nil {
+		t.Error("empty comp times should error")
+	}
+	if _, err := ParallelEfficiency([]float64{1}, 0); err == nil {
+		t.Error("zero total time should error")
+	}
+	if _, err := ParallelEfficiency([]float64{6}, 5); err == nil {
+		t.Error("comp > total should error")
+	}
+	// comp == total is legal (fully compute-bound rank).
+	if _, err := ParallelEfficiency([]float64{5, 1}, 5); err != nil {
+		t.Errorf("comp == total should be legal: %v", err)
+	}
+}
+
+func TestPEBoundedByLB(t *testing.T) {
+	// PE <= LB always: total time >= max computation time.
+	comp := []float64{1, 2, 3, 4}
+	lb, _ := LoadBalance(comp)
+	pe, _ := ParallelEfficiency(comp, 4.5)
+	if pe > lb {
+		t.Errorf("PE %v > LB %v", pe, lb)
+	}
+}
+
+func TestNormalizedAndEDP(t *testing.T) {
+	if got := EDP(2, 3); got != 6 {
+		t.Errorf("EDP = %v, want 6", got)
+	}
+	if got := Normalized(50, 100); got != 0.5 {
+		t.Errorf("Normalized = %v, want 0.5", got)
+	}
+	if got := Normalized(50, 0); got != 0 {
+		t.Errorf("Normalized by zero = %v, want 0", got)
+	}
+}
+
+func TestNewResult(t *testing.T) {
+	r := NewResult(100, 10, 40, 11)
+	if math.Abs(r.Energy-0.4) > 1e-12 {
+		t.Errorf("Energy = %v, want 0.4", r.Energy)
+	}
+	if math.Abs(r.Time-1.1) > 1e-12 {
+		t.Errorf("Time = %v, want 1.1", r.Time)
+	}
+	if math.Abs(r.EDP-0.44) > 1e-12 {
+		t.Errorf("EDP = %v, want 0.44", r.EDP)
+	}
+	if math.Abs(r.Savings()-0.6) > 1e-12 {
+		t.Errorf("Savings = %v, want 0.6", r.Savings())
+	}
+	if !strings.Contains(r.String(), "energy 40.0%") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// Property: LB is always in (0, 1] for positive computation times.
+func TestLoadBalanceRangeProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		comp := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			comp = append(comp, math.Abs(math.Mod(r, 100))+0.001)
+		}
+		if len(comp) == 0 {
+			return true
+		}
+		lb, err := LoadBalance(comp)
+		if err != nil {
+			return false
+		}
+		return lb > 0 && lb <= 1+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LB is scale invariant (multiplying all times by a constant
+// leaves LB unchanged).
+func TestLoadBalanceScaleInvarianceProperty(t *testing.T) {
+	prop := func(raw []float64, kRaw float64) bool {
+		comp := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			comp = append(comp, math.Abs(math.Mod(r, 100))+0.001)
+		}
+		if len(comp) == 0 {
+			return true
+		}
+		k := math.Abs(math.Mod(kRaw, 10)) + 0.5
+		lb1, err1 := LoadBalance(comp)
+		scaled := make([]float64, len(comp))
+		for i, c := range comp {
+			scaled[i] = c * k
+		}
+		lb2, err2 := LoadBalance(scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(lb1-lb2) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalized EDP = normalized energy × normalized time.
+func TestResultEDPConsistencyProperty(t *testing.T) {
+	prop := func(e0, t0, e1, t1 float64) bool {
+		oe := math.Abs(math.Mod(e0, 100)) + 1
+		ot := math.Abs(math.Mod(t0, 100)) + 1
+		ne := math.Abs(math.Mod(e1, 100)) + 1
+		nt := math.Abs(math.Mod(t1, 100)) + 1
+		r := NewResult(oe, ot, ne, nt)
+		return math.Abs(r.EDP-r.Energy*r.Time) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package paraver
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const sampleHeader = "#Paraver (01/01/2009 at 00:00):3000000000:1(2):1:2(1:1,1:2)\n"
+
+func TestReadStatesBecomeComputeBursts(t *testing.T) {
+	in := sampleHeader +
+		"1:1:1:1:1:0:1000000000:1\n" + // task 1 runs 1s
+		"1:2:1:2:1:0:500000000:1\n" + // task 2 runs 0.5s
+		"1:2:1:2:1:500000000:700000000:3\n" // waiting state: skipped
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRanks() != 2 {
+		t.Fatalf("ranks = %d", tr.NumRanks())
+	}
+	ct := tr.ComputeTimes()
+	if math.Abs(ct[0]-1.0) > 1e-9 || math.Abs(ct[1]-0.5) > 1e-9 {
+		t.Errorf("compute times = %v", ct)
+	}
+}
+
+func TestReadCommBecomesSendRecv(t *testing.T) {
+	in := sampleHeader +
+		"1:1:1:1:1:0:1000000000:1\n" +
+		"3:1:1:1:1:1000000000:1000000000:1:1:2:1:1200000000:1200000000:4096:7\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0: compute then send. Rank 1: recv.
+	r0 := tr.Ranks[0]
+	if len(r0) != 2 || r0[1].Kind != trace.KindSend || r0[1].Peer != 1 || r0[1].Bytes != 4096 || r0[1].Tag != 7 {
+		t.Errorf("rank 0 = %+v", r0)
+	}
+	r1 := tr.Ranks[1]
+	if len(r1) != 1 || r1[0].Kind != trace.KindRecv || r1[0].Peer != 0 {
+		t.Errorf("rank 1 = %+v", r1)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("imported trace invalid: %v", err)
+	}
+}
+
+func TestReadIterationEvents(t *testing.T) {
+	in := sampleHeader +
+		"1:1:1:1:1:0:1000000000:1\n" +
+		"2:1:1:1:1:1000000000:90000001:1\n" +
+		"2:1:1:1:1:1000000000:12345:9\n" // unrelated event: skipped
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := tr.Ranks[0]
+	if len(r0) != 2 || r0[1].Kind != trace.KindIterMark {
+		t.Errorf("rank 0 = %+v", r0)
+	}
+}
+
+func TestReadOrdersByTimestamp(t *testing.T) {
+	// Records out of file order must be sorted into timeline order.
+	in := sampleHeader +
+		"1:1:1:1:1:2000000000:3000000000:1\n" +
+		"1:1:1:1:1:0:1000000000:1\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := tr.Ranks[0]
+	if len(r0) != 2 {
+		t.Fatalf("records = %+v", r0)
+	}
+	if math.Abs(r0[0].Duration-1.0) > 1e-9 {
+		t.Errorf("first record should be the t=0 burst, got %+v", r0[0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []struct{ name, in string }{
+		{"empty", ""},
+		{"not paraver", "hello:world\n"},
+		{"no task count", "#Paraver (x):100:1(2):1\n"},
+		{"zero tasks", "#Paraver (x):100:1(2):1:0(1:1)\n"},
+		{"task out of range", sampleHeader + "1:1:1:9:1:0:10:1\n"},
+		{"short state", sampleHeader + "1:1:1:1:1:0:10\n"},
+		{"bad begin", sampleHeader + "1:1:1:1:1:x:10:1\n"},
+		{"end before begin", sampleHeader + "1:1:1:1:1:10:5:1\n"},
+		{"short comm", sampleHeader + "3:1:1:1:1:0:0:1:1:2:1:0:0:10\n"},
+		{"self comm", sampleHeader + "3:1:1:1:1:0:0:1:1:1:1:0:0:10:0\n"},
+		{"negative size", sampleHeader + "3:1:1:1:1:0:0:1:1:2:1:0:0:-1:0\n"},
+		{"odd event fields", sampleHeader + "2:1:1:1:1:0:90000001\n"},
+		{"bad event value", sampleHeader + "2:1:1:1:1:0:90000001:x\n"},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("Read(%q) should fail", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadSkipsUnknownAndComments(t *testing.T) {
+	in := sampleHeader +
+		"# a comment\n" +
+		"c:1:2:3\n" + // communicator line
+		"9:whatever\n" + // unknown record type
+		"1:1:1:1:1:0:1000000000:1\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRecords() != 1 {
+		t.Errorf("records = %d", tr.NumRecords())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := trace.New("roundtrip", 3)
+	src.Add(0, trace.Compute(0.5), trace.Send(1, 1024, 3), trace.IterMark())
+	src.Add(1, trace.Recv(0, 1024, 3), trace.Compute(0.25), trace.IterMark())
+	src.Add(2, trace.Compute(0.75), trace.IterMark())
+
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRanks() != 3 {
+		t.Fatalf("ranks = %d", back.NumRanks())
+	}
+	// Compute totals survive exactly.
+	a, b := src.ComputeTimes(), back.ComputeTimes()
+	for r := range a {
+		if math.Abs(a[r]-b[r]) > 1e-9 {
+			t.Errorf("rank %d compute %v != %v", r, b[r], a[r])
+		}
+	}
+	// P2P structure survives.
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped trace invalid: %v", err)
+	}
+	if back.Iterations() != 1 {
+		t.Errorf("iterations = %d", back.Iterations())
+	}
+}
+
+func TestWriteGeneratedWorkload(t *testing.T) {
+	inst, err := workload.FindInstance("CG-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Iterations = 2
+	cfg.SkipPECalibration = true
+	tr, err := workload.Generate(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "#Paraver") {
+		t.Error("missing header")
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.ComputeTimes(), back.ComputeTimes()
+	for r := range a {
+		if math.Abs(a[r]-b[r]) > 1e-6 {
+			t.Errorf("rank %d compute %v != %v", r, b[r], a[r])
+		}
+	}
+}
+
+func TestWriteRejectsUnmatchedRecv(t *testing.T) {
+	badTrace := trace.New("bad", 2)
+	badTrace.Add(0, trace.Recv(1, 10, 0))
+	var buf bytes.Buffer
+	if err := Write(&buf, badTrace); err == nil {
+		t.Error("unmatched recv should fail to export")
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats provides the small numeric helpers shared by the simulator,
+// workload generators and report printers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the first maximum element, or -1 if empty.
+func ArgMax(xs []float64) int {
+	idx, m := -1, math.Inf(-1)
+	for i, x := range xs {
+		if x > m {
+			m, idx = x, i
+		}
+	}
+	return idx
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Median returns the median of xs (the average of the two middle elements
+// for even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Scale multiplies every element by k, in place, and returns xs.
+func Scale(xs []float64, k float64) []float64 {
+	for i := range xs {
+		xs[i] *= k
+	}
+	return xs
+}
+
+// Normalize divides every element by the maximum so the largest becomes 1.
+// A slice whose maximum is <= 0 is returned unchanged.
+func Normalize(xs []float64) []float64 {
+	m := Max(xs)
+	if m <= 0 {
+		return xs
+	}
+	return Scale(xs, 1/m)
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AllPositive reports whether every element is strictly positive.
+func AllPositive(xs []float64) bool {
+	for _, x := range xs {
+		if x <= 0 {
+			return false
+		}
+	}
+	return len(xs) > 0
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Sum(xs); got != 14 {
+		t.Errorf("Sum = %v, want 14", got)
+	}
+	if got := Mean(xs); got != 2.8 {
+		t.Errorf("Mean = %v, want 2.8", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := ArgMax(xs); got != 4 {
+		t.Errorf("ArgMax = %v, want 4", got)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Max(nil); !math.IsInf(got, -1) {
+		t.Errorf("Max(nil) = %v, want -Inf", got)
+	}
+	if got := Min(nil); !math.IsInf(got, 1) {
+		t.Errorf("Min(nil) = %v, want +Inf", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %v, want -1", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v", got)
+	}
+	if AllPositive(nil) {
+		t.Error("AllPositive(nil) should be false")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("constant StdDev = %v, want 0", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("StdDev{1,3} = %v, want 1", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	// Median must not modify its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median modified its input")
+	}
+}
+
+func TestScaleNormalizeClamp(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	Normalize(xs)
+	if xs[2] != 1 || xs[0] != 0.25 {
+		t.Errorf("Normalize = %v", xs)
+	}
+	ys := []float64{0, -1}
+	Normalize(ys)
+	if ys[0] != 0 || ys[1] != -1 {
+		t.Errorf("Normalize of non-positive slice changed it: %v", ys)
+	}
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 3); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(1, 0, 3); got != 1 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+}
+
+func TestAllPositive(t *testing.T) {
+	if !AllPositive([]float64{1, 2}) {
+		t.Error("want true")
+	}
+	if AllPositive([]float64{1, 0}) {
+		t.Error("want false with zero")
+	}
+	if AllPositive([]float64{-1}) {
+		t.Error("want false with negative")
+	}
+}
+
+// Property: Mean is between Min and Max for non-empty slices.
+func TestMeanBoundsProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, math.Mod(r, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after Normalize of positive data the maximum is exactly 1.
+func TestNormalizeProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(math.Mod(r, 100)) + 0.1
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		Normalize(xs)
+		return math.Abs(Max(xs)-1) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

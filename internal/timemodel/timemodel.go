@@ -1,0 +1,131 @@
+// Package timemodel implements the frequency/execution-time model used by the
+// paper (eq. 3, originally from Hsu & Feng's power-aware run-time system):
+//
+//	T(f) / T(fmax) = β·(fmax/f − 1) + 1
+//
+// β expresses how memory bound a computation phase is. β = 1 means halving the
+// frequency doubles the execution time (fully CPU bound); β = 0 means the
+// execution time does not depend on the CPU frequency at all (fully memory
+// bound). The paper assumes β = 0.5 on average and sweeps 0.3–1.0 in §5.3.3.
+package timemodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultBeta is the paper's baseline memory-boundedness parameter (§3.2).
+const DefaultBeta = 0.5
+
+var (
+	// ErrBadBeta reports a β outside the meaningful range [0, 1].
+	ErrBadBeta = errors.New("timemodel: beta must be in [0, 1]")
+	// ErrBadFrequency reports a non-positive frequency.
+	ErrBadFrequency = errors.New("timemodel: frequency must be positive")
+)
+
+// Model evaluates the β slowdown model for a fixed nominal frequency.
+type Model struct {
+	// Beta is the memory-boundedness parameter in [0, 1].
+	Beta float64
+	// FMax is the nominal top frequency (GHz) against which slowdowns are
+	// expressed. Running faster than FMax (over-clocking) yields factors < 1.
+	FMax float64
+}
+
+// New returns a model after validating its parameters.
+func New(beta, fmax float64) (Model, error) {
+	m := Model{Beta: beta, FMax: fmax}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.Beta < 0 || m.Beta > 1 || math.IsNaN(m.Beta) {
+		return fmt.Errorf("%w (got %v)", ErrBadBeta, m.Beta)
+	}
+	if m.FMax <= 0 || math.IsNaN(m.FMax) {
+		return fmt.Errorf("%w (got fmax=%v)", ErrBadFrequency, m.FMax)
+	}
+	return nil
+}
+
+// Slowdown returns T(f)/T(fmax) for running at frequency f.
+// The result is > 1 for f < fmax, exactly 1 at fmax, and < 1 when
+// over-clocking (f > fmax). f must be positive.
+func (m Model) Slowdown(f float64) float64 {
+	return Slowdown(m.Beta, m.FMax, f)
+}
+
+// Time returns the execution time at frequency f of a phase that takes
+// tAtFMax seconds at the nominal top frequency.
+func (m Model) Time(tAtFMax, f float64) float64 {
+	return tAtFMax * m.Slowdown(f)
+}
+
+// RequiredFrequency inverts the model: it returns the frequency at which a
+// phase lasting tOrig at fmax completes in exactly tTarget.
+//
+// If the target is unattainable even at infinite frequency (because the
+// memory-bound fraction (1−β)·tOrig alone exceeds tTarget), it returns
+// +Inf. Targets shorter than tOrig demand f > fmax (over-clocking). A
+// non-positive tOrig yields 0 (any frequency works; callers treat idle ranks
+// as free). β = 0 phases are frequency-insensitive: the result is 0 when the
+// target is met at any speed and +Inf when it can never be met.
+func (m Model) RequiredFrequency(tOrig, tTarget float64) float64 {
+	return RequiredFrequency(m.Beta, m.FMax, tOrig, tTarget)
+}
+
+// Slowdown is the package-level form of Model.Slowdown:
+// β·(fmax/f − 1) + 1.
+func Slowdown(beta, fmax, f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return beta*(fmax/f-1) + 1
+}
+
+// RequiredFrequency is the package-level form of Model.RequiredFrequency.
+//
+// Derivation: tTarget = tOrig·(β·(fmax/f − 1) + 1)
+// ⇒ fmax/f = (tTarget/tOrig − 1)/β + 1
+// ⇒ f = fmax / (1 + (tTarget/tOrig − 1)/β).
+func RequiredFrequency(beta, fmax, tOrig, tTarget float64) float64 {
+	if tOrig <= 0 {
+		return 0 // nothing to compute: any frequency meets any target
+	}
+	if tTarget <= 0 {
+		return math.Inf(1)
+	}
+	ratio := tTarget / tOrig
+	if beta == 0 {
+		// Time is frequency-independent: attainable iff tTarget >= tOrig.
+		if ratio >= 1 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	den := 1 + (ratio-1)/beta
+	if den <= 0 {
+		// Even f → ∞ cannot push the time below (1−β)·tOrig.
+		return math.Inf(1)
+	}
+	return fmax / den
+}
+
+// MinAttainableTime returns the asymptotic lower bound on the execution time
+// of a phase lasting tOrig at fmax when the frequency may grow up to fCap.
+// With fCap = +Inf this is the memory-bound floor (1−β)·tOrig.
+func MinAttainableTime(beta, fmax, tOrig, fCap float64) float64 {
+	if tOrig <= 0 {
+		return 0
+	}
+	if math.IsInf(fCap, 1) {
+		return (1 - beta) * tOrig
+	}
+	return tOrig * Slowdown(beta, fmax, fCap)
+}

@@ -1,0 +1,201 @@
+package timemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		beta    float64
+		fmax    float64
+		wantErr bool
+	}{
+		{"baseline", 0.5, 2.3, false},
+		{"cpu bound", 1.0, 2.3, false},
+		{"memory bound", 0.0, 2.3, false},
+		{"beta too small", -0.1, 2.3, true},
+		{"beta too large", 1.1, 2.3, true},
+		{"beta NaN", math.NaN(), 2.3, true},
+		{"zero fmax", 0.5, 0, true},
+		{"negative fmax", 0.5, -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.beta, tt.fmax)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%v, %v) error = %v, wantErr %v", tt.beta, tt.fmax, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSlowdownPaperValues(t *testing.T) {
+	// β = 1: halving the frequency doubles the execution time (paper §3.2).
+	if got := Slowdown(1.0, 2.3, 1.15); !almostEqual(got, 2.0, 1e-12) {
+		t.Errorf("beta=1 half freq: got %v, want 2", got)
+	}
+	// β = 0: frequency does not affect execution time.
+	if got := Slowdown(0.0, 2.3, 0.8); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("beta=0: got %v, want 1", got)
+	}
+	// β = 0.5, half frequency: slowdown = 0.5·(2−1)+1 = 1.5.
+	if got := Slowdown(0.5, 2.3, 1.15); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("beta=0.5 half freq: got %v, want 1.5", got)
+	}
+	// At fmax the slowdown is exactly 1 for any β.
+	for _, beta := range []float64{0, 0.3, 0.5, 0.7, 1} {
+		if got := Slowdown(beta, 2.3, 2.3); got != 1 {
+			t.Errorf("beta=%v at fmax: got %v, want 1", beta, got)
+		}
+	}
+	// Over-clocking by 10% with β=0.5: 0.5·(1/1.1−1)+1 ≈ 0.9545.
+	want := 0.5*(1/1.1-1) + 1
+	if got := Slowdown(0.5, 2.3, 2.3*1.1); !almostEqual(got, want, 1e-12) {
+		t.Errorf("overclock: got %v, want %v", got, want)
+	}
+}
+
+func TestSlowdownEdgeCases(t *testing.T) {
+	if got := Slowdown(0.5, 2.3, 0); !math.IsInf(got, 1) {
+		t.Errorf("f=0: got %v, want +Inf", got)
+	}
+	if got := Slowdown(0.5, 2.3, -1); !math.IsInf(got, 1) {
+		t.Errorf("f<0: got %v, want +Inf", got)
+	}
+}
+
+func TestRequiredFrequencyRoundTrip(t *testing.T) {
+	m, err := New(0.5, 2.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rank with half the load of the max should run at fmax/3 under β=0.5
+	// (worked example from the design notes).
+	f := m.RequiredFrequency(0.5, 1.0)
+	if !almostEqual(f, 2.3/3, 1e-12) {
+		t.Errorf("half-load rank: got %v, want %v", f, 2.3/3)
+	}
+	// Round trip: running 0.5s of work at that frequency takes the target 1s.
+	if got := m.Time(0.5, f); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("round trip time: got %v, want 1", got)
+	}
+}
+
+func TestRequiredFrequencyOverclock(t *testing.T) {
+	m := Model{Beta: 0.5, FMax: 2.3}
+	// The most loaded rank (1s) balancing toward an average of 0.9s needs
+	// over-clocking: f > fmax.
+	f := m.RequiredFrequency(1.0, 0.9)
+	if f <= m.FMax {
+		t.Errorf("target below original needs overclock, got f=%v <= fmax", f)
+	}
+	if got := m.Time(1.0, f); !almostEqual(got, 0.9, 1e-12) {
+		t.Errorf("overclock round trip: got %v, want 0.9", got)
+	}
+}
+
+func TestRequiredFrequencyUnattainable(t *testing.T) {
+	m := Model{Beta: 0.5, FMax: 2.3}
+	// Memory floor is (1−β)·tOrig = 0.5s; targets below are unattainable.
+	if f := m.RequiredFrequency(1.0, 0.4); !math.IsInf(f, 1) {
+		t.Errorf("below memory floor: got %v, want +Inf", f)
+	}
+	if f := m.RequiredFrequency(1.0, 0.5); !math.IsInf(f, 1) {
+		t.Errorf("at memory floor (asymptote): got %v, want +Inf", f)
+	}
+}
+
+func TestRequiredFrequencyDegenerate(t *testing.T) {
+	if f := RequiredFrequency(0.5, 2.3, 0, 1); f != 0 {
+		t.Errorf("no work: got %v, want 0", f)
+	}
+	if f := RequiredFrequency(0.5, 2.3, 1, 0); !math.IsInf(f, 1) {
+		t.Errorf("zero target: got %v, want +Inf", f)
+	}
+	if f := RequiredFrequency(0, 2.3, 1, 2); f != 0 {
+		t.Errorf("beta=0 attainable: got %v, want 0", f)
+	}
+	if f := RequiredFrequency(0, 2.3, 1, 0.5); !math.IsInf(f, 1) {
+		t.Errorf("beta=0 unattainable: got %v, want +Inf", f)
+	}
+}
+
+func TestMinAttainableTime(t *testing.T) {
+	if got := MinAttainableTime(0.5, 2.3, 1.0, math.Inf(1)); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("infinite cap: got %v, want 0.5", got)
+	}
+	// Cap at +10% over-clock.
+	want := Slowdown(0.5, 2.3, 2.53)
+	if got := MinAttainableTime(0.5, 2.3, 1.0, 2.53); !almostEqual(got, want, 1e-12) {
+		t.Errorf("10%% cap: got %v, want %v", got, want)
+	}
+	if got := MinAttainableTime(0.5, 2.3, 0, 2.53); got != 0 {
+		t.Errorf("no work: got %v, want 0", got)
+	}
+}
+
+// Property: Slowdown is strictly decreasing in f for β > 0.
+func TestSlowdownMonotonicProperty(t *testing.T) {
+	prop := func(betaRaw, f1Raw, f2Raw float64) bool {
+		beta := 0.1 + math.Mod(math.Abs(betaRaw), 0.9)
+		f1 := 0.1 + math.Mod(math.Abs(f1Raw), 5)
+		f2 := 0.1 + math.Mod(math.Abs(f2Raw), 5)
+		if f1 == f2 {
+			return true
+		}
+		lo, hi := math.Min(f1, f2), math.Max(f1, f2)
+		return Slowdown(beta, 2.3, lo) > Slowdown(beta, 2.3, hi)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RequiredFrequency inverts Slowdown whenever the target is
+// attainable.
+func TestRequiredFrequencyInverseProperty(t *testing.T) {
+	prop := func(betaRaw, origRaw, targetRaw float64) bool {
+		beta := 0.1 + math.Mod(math.Abs(betaRaw), 0.9)
+		tOrig := 0.01 + math.Mod(math.Abs(origRaw), 10)
+		// Pick targets above the memory floor with some slack.
+		floor := (1 - beta) * tOrig
+		tTarget := floor + 0.01 + math.Mod(math.Abs(targetRaw), 10)
+		f := RequiredFrequency(beta, 2.3, tOrig, tTarget)
+		if math.IsInf(f, 1) || f <= 0 {
+			return false
+		}
+		back := tOrig * Slowdown(beta, 2.3, f)
+		return almostEqual(back, tTarget, 1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a lower target never demands a lower frequency.
+func TestRequiredFrequencyMonotonicProperty(t *testing.T) {
+	prop := func(t1Raw, t2Raw float64) bool {
+		tOrig := 1.0
+		t1 := 0.55 + math.Mod(math.Abs(t1Raw), 3)
+		t2 := 0.55 + math.Mod(math.Abs(t2Raw), 3)
+		f1 := RequiredFrequency(0.5, 2.3, tOrig, t1)
+		f2 := RequiredFrequency(0.5, 2.3, tOrig, t2)
+		if t1 < t2 {
+			return f1 >= f2
+		}
+		return f2 >= f1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

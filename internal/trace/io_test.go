@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := New("BT-MZ 32", 3)
+	tr.Add(0, Compute(1.25), ComputeBeta(0.5, 0.7), Send(1, 4096, 3), Coll(CollAllReduce, 8), IterMark())
+	tr.Add(1, Recv(0, 4096, 3), Compute(2), Coll(CollAllReduce, 8), IterMark())
+	tr.Add(2, Compute(0.001), Coll(CollAllReduce, 8), IterMark())
+
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != "BT-MZ_32" { // spaces escaped
+		t.Errorf("app = %q", back.App)
+	}
+	if back.NumRanks() != 3 {
+		t.Fatalf("ranks = %d", back.NumRanks())
+	}
+	if !reflect.DeepEqual(back.Ranks, tr.Ranks) {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", back.Ranks, tr.Ranks)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := `#PWRTRACE v1 app=x ranks=2
+% a comment
+c 0 1.5
+
+c 1 2.5
+i 0
+i 1
+`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := tr.ComputeTimes()
+	if ct[0] != 1.5 || ct[1] != 2.5 {
+		t.Fatalf("compute times = %v", ct)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "hello\n"},
+		{"no ranks", "#PWRTRACE v1 app=x\n"},
+		{"zero ranks", "#PWRTRACE v1 app=x ranks=0\n"},
+		{"bad ranks value", "#PWRTRACE v1 app=x ranks=abc\n"},
+		{"rank out of range", "#PWRTRACE v1 app=x ranks=1\nc 5 1.0\n"},
+		{"short record", "#PWRTRACE v1 app=x ranks=1\nc\n"},
+		{"bad duration", "#PWRTRACE v1 app=x ranks=1\nc 0 xyz\n"},
+		{"bad beta", "#PWRTRACE v1 app=x ranks=1\nc 0 1.0 xyz\n"},
+		{"compute extra fields", "#PWRTRACE v1 app=x ranks=1\nc 0 1 2 3\n"},
+		{"p2p short", "#PWRTRACE v1 app=x ranks=2\ns 0 1 10\n"},
+		{"p2p bad peer", "#PWRTRACE v1 app=x ranks=2\ns 0 x 10 0\n"},
+		{"p2p bad size", "#PWRTRACE v1 app=x ranks=2\ns 0 1 x 0\n"},
+		{"p2p bad tag", "#PWRTRACE v1 app=x ranks=2\ns 0 1 10 x\n"},
+		{"coll short", "#PWRTRACE v1 app=x ranks=1\ng 0 barrier\n"},
+		{"coll unknown", "#PWRTRACE v1 app=x ranks=1\ng 0 gossip 0\n"},
+		{"coll bad size", "#PWRTRACE v1 app=x ranks=1\ng 0 barrier x\n"},
+		{"unknown type", "#PWRTRACE v1 app=x ranks=1\nz 0\n"},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("Read(%q) should fail", tt.in)
+			}
+		})
+	}
+}
+
+// Property: any generated trace survives a serialization round trip intact.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, durs []float64) bool {
+		tr := New("prop", 2)
+		for i, d := range durs {
+			dur := d
+			if dur < 0 {
+				dur = -dur
+			}
+			if dur > 1e6 {
+				dur = 1e6
+			}
+			tr.Add(i%2, Compute(dur))
+		}
+		tr.Add(0, Send(1, 128, 0), Coll(CollBarrier, 0), IterMark())
+		tr.Add(1, Recv(0, 128, 0), Coll(CollBarrier, 0), IterMark())
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(back.Ranks, tr.Ranks)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// Communication-pattern builders. All point-to-point exchanges order sends
+// and receives with the classic parity trick (even position sends first) so
+// that rendezvous-protocol messages never deadlock, exactly as well-written
+// MPI codes do.
+
+// ringExchange appends a one-direction ring shift (each rank sends `bytes`
+// to (r+1) mod n and receives from (r−1+n) mod n) to every rank's timeline.
+func ringExchange(tr *trace.Trace, n int, bytes int64, tag int) {
+	if n < 2 {
+		return
+	}
+	for r := 0; r < n; r++ {
+		right := (r + 1) % n
+		left := (r - 1 + n) % n
+		if r%2 == 0 {
+			tr.Add(r, trace.Send(right, bytes, tag), trace.Recv(left, bytes, tag))
+		} else {
+			tr.Add(r, trace.Recv(left, bytes, tag), trace.Send(right, bytes, tag))
+		}
+	}
+}
+
+// pairExchange appends a bidirectional neighbour exchange between rank pairs
+// (2k, 2k+1): each partner sends `bytes` to the other. A leftover last rank
+// (odd n) sits the phase out.
+func pairExchange(tr *trace.Trace, n int, bytes int64, tag int) {
+	for r := 0; r+1 < n; r += 2 {
+		tr.Add(r, trace.Send(r+1, bytes, tag), trace.Recv(r+1, bytes, tag))
+		tr.Add(r+1, trace.Recv(r, bytes, tag), trace.Send(r, bytes, tag))
+	}
+}
+
+// gridDims factors n into nx·ny with nx as close to √n as possible.
+func gridDims(n int) (nx, ny int) {
+	nx = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			nx = d
+		}
+	}
+	return nx, n / nx
+}
+
+// haloExchange2D appends a four-neighbour (torus) halo exchange over an
+// nx×ny process grid: one ring shift per direction along each axis. Rank r
+// sits at (r mod nx, r div nx). Axes of length 1 are skipped. Tags tagBase
+// through tagBase+3 are used.
+func haloExchange2D(tr *trace.Trace, nx, ny int, bytes int64, tagBase int) {
+	n := nx * ny
+	// X axis: +1 and −1 shifts within each row.
+	if nx >= 2 {
+		for dir := 0; dir < 2; dir++ {
+			tag := tagBase + dir
+			for r := 0; r < n; r++ {
+				ix, iy := r%nx, r/nx
+				var dst, src int
+				if dir == 0 {
+					dst = iy*nx + (ix+1)%nx
+					src = iy*nx + (ix-1+nx)%nx
+				} else {
+					dst = iy*nx + (ix-1+nx)%nx
+					src = iy*nx + (ix+1)%nx
+				}
+				if ix%2 == 0 {
+					tr.Add(r, trace.Send(dst, bytes, tag), trace.Recv(src, bytes, tag))
+				} else {
+					tr.Add(r, trace.Recv(src, bytes, tag), trace.Send(dst, bytes, tag))
+				}
+			}
+		}
+	}
+	// Y axis: +1 and −1 shifts within each column.
+	if ny >= 2 {
+		for dir := 0; dir < 2; dir++ {
+			tag := tagBase + 2 + dir
+			for r := 0; r < n; r++ {
+				ix, iy := r%nx, r/nx
+				var dst, src int
+				if dir == 0 {
+					dst = ((iy+1)%ny)*nx + ix
+					src = ((iy-1+ny)%ny)*nx + ix
+				} else {
+					dst = ((iy-1+ny)%ny)*nx + ix
+					src = ((iy+1)%ny)*nx + ix
+				}
+				if iy%2 == 0 {
+					tr.Add(r, trace.Send(dst, bytes, tag), trace.Recv(src, bytes, tag))
+				} else {
+					tr.Add(r, trace.Recv(src, bytes, tag), trace.Send(dst, bytes, tag))
+				}
+			}
+		}
+	}
+}
+
+// collective appends the same collective record to every rank.
+func collective(tr *trace.Trace, n int, c trace.Collective, bytes int64) {
+	for r := 0; r < n; r++ {
+		tr.Add(r, trace.Coll(c, bytes))
+	}
+}
+
+// computePhase appends per-rank computation bursts (seconds at fmax).
+func computePhase(tr *trace.Trace, loads []float64) {
+	for r, w := range loads {
+		tr.Add(r, trace.Compute(w))
+	}
+}
+
+// iterMarks closes an iteration on every rank.
+func iterMarks(tr *trace.Trace, n int) {
+	for r := 0; r < n; r++ {
+		tr.Add(r, trace.IterMark())
+	}
+}
