@@ -75,6 +75,16 @@ const (
 // rescaled execution, and account CPU energy.
 func Analyze(cfg AnalysisConfig) (*AnalysisResult, error) { return analysis.Run(cfg) }
 
+// ReplayCache memoizes baseline (all-ranks-at-FMax) replays keyed by
+// (trace, β, FMax, platform). Set AnalysisConfig.Cache — or the Cache field
+// of the jitter/phased/gear-search configs — to share the original
+// execution across many what-if runs of the same trace instead of
+// re-simulating it each time. Safe for concurrent use.
+type ReplayCache = dimemas.ReplayCache
+
+// NewReplayCache returns an empty baseline-replay cache.
+func NewReplayCache() *ReplayCache { return dimemas.NewReplayCache() }
+
 // CompareAlgorithms runs MAX and AVG on the same trace with their
 // respective gear sets (Figure 10 of the paper).
 func CompareAlgorithms(cfg AnalysisConfig, maxSet, avgSet *GearSet) (*AnalysisResult, *AnalysisResult, error) {

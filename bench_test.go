@@ -131,7 +131,7 @@ func BenchmarkAssignMAX128(b *testing.B) {
 	comp := tr.ComputeTimes()
 	six, err := UniformGearSet(6)
 	if err != nil {
-		b.Fatal(b)
+		b.Fatal(err)
 	}
 	bal, err := NewBalancer(six, 0.5)
 	if err != nil {

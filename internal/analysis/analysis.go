@@ -41,6 +41,16 @@ type Config struct {
 	// Rounding selects the gear-quantization rule; the zero value is the
 	// paper's closest-higher rule.
 	Rounding core.Rounding
+	// Baseline optionally supplies a precomputed original execution (all
+	// ranks at FMax) for this exact (Trace, Platform, Beta, FMax,
+	// RecordTimelines) combination. Run trusts it without re-checking; use
+	// Cache instead when the match cannot be guaranteed by construction.
+	Baseline *dimemas.Result
+	// Cache optionally memoizes original executions across runs: sweeps
+	// that evaluate many variants of the same trace replay the baseline
+	// once instead of once per variant. The cached Result is shared and
+	// must be treated as read-only (Run itself never mutates it).
+	Cache *dimemas.ReplayCache
 }
 
 // RunStats describes one simulated execution's cost.
@@ -112,11 +122,17 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Original execution: every rank at the nominal top frequency.
+	// Original execution: every rank at the nominal top frequency. A
+	// precomputed baseline short-circuits the replay; otherwise the cache
+	// (nil-safe: a nil cache simulates directly) memoizes it across runs.
 	simOpts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, RecordTimeline: cfg.RecordTimelines}
-	orig, err := dimemas.Simulate(cfg.Trace, cfg.Platform, simOpts)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: original replay: %w", err)
+	orig := cfg.Baseline
+	if orig == nil {
+		var err error
+		orig, err = cfg.Cache.Original(cfg.Trace, cfg.Platform, simOpts)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: original replay: %w", err)
+		}
 	}
 	lb, err := metrics.LoadBalance(orig.Compute)
 	if err != nil {

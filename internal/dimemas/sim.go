@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/timemodel"
 	"repro/internal/trace"
@@ -78,247 +79,217 @@ const (
 	blockedColl
 )
 
-type chanKey struct{ src, dst, tag int }
-
-type sendEntry struct {
-	ready      float64 // sender-side ready time (after overhead)
-	bytes      int64
-	rendezvous bool
-	done       bool    // rendezvous pairing completed
-	end        float64 // rendezvous completion time
+// traceIndex is the one-time, platform-independent precomputation for a
+// trace: its validation verdict, the flat channel table (every (src, dst,
+// tag) triple gets a dense id), the per-record channel id, and the arena
+// sizes. It is built on first replay and cached on the trace itself via
+// trace.ReplayIndex, so repeated replays of the same immutable trace skip
+// both validation and channel discovery entirely.
+type traceIndex struct {
+	err        error // cached Validate verdict
+	nranks     int
+	numColls   int       // collectives per rank (identical across ranks once valid)
+	totalSends int       // arena size: one slot per send record
+	chanOf     [][]int32 // [rank][record] dense channel id; -1 for non-p2p records
+	chanBase   []int32   // per channel: first arena slot
+	chanSrc    []int32   // per channel: sending rank (for rendezvous wake-ups)
 }
 
-type channel struct {
-	sends    []*sendEntry
-	nextSend int // first unpaired entry
+// buildIndex scans the trace once. The map exists only here; the hot replay
+// path sees nothing but dense slices.
+func buildIndex(t *trace.Trace) any {
+	idx := &traceIndex{nranks: t.NumRanks()}
+	if err := t.Validate(); err != nil {
+		idx.err = err
+		return idx
+	}
+	type chanKey struct{ src, dst, tag int }
+	ids := make(map[chanKey]int32)
+	var counts, srcs []int32
+	idx.chanOf = make([][]int32, len(t.Ranks))
+	for r, recs := range t.Ranks {
+		co := make([]int32, len(recs))
+		ncoll := 0
+		for i, rec := range recs {
+			switch rec.Kind {
+			case trace.KindSend, trace.KindRecv:
+				k := chanKey{r, rec.Peer, rec.Tag}
+				if rec.Kind == trace.KindRecv {
+					k = chanKey{rec.Peer, r, rec.Tag}
+				}
+				id, ok := ids[k]
+				if !ok {
+					id = int32(len(counts))
+					ids[k] = id
+					counts = append(counts, 0)
+					srcs = append(srcs, int32(k.src))
+				}
+				co[i] = id
+				if rec.Kind == trace.KindSend {
+					counts[id]++
+					idx.totalSends++
+				}
+			case trace.KindColl:
+				co[i] = -1
+				ncoll++
+			default:
+				co[i] = -1
+			}
+		}
+		if ncoll > idx.numColls {
+			idx.numColls = ncoll
+		}
+		idx.chanOf[r] = co
+	}
+	idx.chanBase = make([]int32, len(counts))
+	idx.chanSrc = srcs
+	var base int32
+	for c, cnt := range counts {
+		idx.chanBase[c] = base
+		base += cnt
+	}
+	return idx
+}
+
+// sendEntry is one posted send, stored by value in the per-run arena.
+type sendEntry struct {
+	ready      float64 // sender-side ready time (after overhead)
+	end        float64 // rendezvous completion time
+	bytes      int64
+	rendezvous bool
+	done       bool // rendezvous pairing completed
+}
+
+// chanState is the per-run view of one channel: a window into the send
+// arena plus the identity of a receiver parked on it, if any.
+type chanState struct {
+	base   int32 // first arena slot (copied from the index for locality)
+	posted int32 // sends posted so far
+	paired int32 // sends consumed by receives so far
+	waiter int32 // rank blocked in a recv on this channel; -1 when none
 }
 
 type collInstance struct {
-	arrived  int
 	maxReady float64
-	complete bool
 	end      float64
+	arrived  int32
+	complete bool
 }
 
 type rankState struct {
-	pc         int
+	pc         int32
+	collIdx    int32 // next collective index for this rank
+	sendIdx    int32 // arena slot of the pending rendezvous send (blockedSend)
+	blocked    blockKind
 	clock      float64
 	compute    float64
-	blocked    blockKind
 	blockStart float64
-	sendEntry  *sendEntry // for blockedSend
-	collIdx    int        // next collective index for this rank
 	segs       []Segment
 }
 
+// simContext holds all per-run scratch state. Contexts are recycled through
+// a sync.Pool so steady-state replays allocate only the returned Result.
+type simContext struct {
+	ranks  []rankState
+	chans  []chanState
+	colls  []collInstance
+	sends  []sendEntry
+	queue  []int32 // ready queue: appended on wake, drained by a head cursor
+	queued []bool  // queue membership per rank
+	freqs  []float64
+}
+
+var ctxPool = sync.Pool{New: func() any { return new(simContext) }}
+
+// resetSlice returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+func (c *simContext) reset(idx *traceIndex) {
+	c.ranks = resetSlice(c.ranks, idx.nranks)
+	c.colls = resetSlice(c.colls, idx.numColls)
+	c.sends = resetSlice(c.sends, idx.totalSends)
+	c.queued = resetSlice(c.queued, idx.nranks)
+	c.queue = c.queue[:0]
+	if cap(c.chans) < len(idx.chanBase) {
+		c.chans = make([]chanState, len(idx.chanBase))
+	}
+	c.chans = c.chans[:len(idx.chanBase)]
+	for i := range c.chans {
+		c.chans[i] = chanState{base: idx.chanBase[i], waiter: -1}
+	}
+}
+
 // Simulate replays the trace on the platform. It is deterministic: the same
-// inputs always produce the same result.
+// inputs always produce the same result, and the result is bit-identical to
+// the original round-robin polling engine (the per-rank floating-point
+// operation sequence is unchanged; only the scheduling of runnable ranks
+// differs, and no arithmetic crosses rank boundaries except order-invariant
+// max reductions).
 func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := t.Validate(); err != nil {
-		return nil, err
+	idx := t.ReplayIndex(buildIndex).(*traceIndex)
+	if idx.err != nil {
+		return nil, idx.err
 	}
-	n := t.NumRanks()
+	n := idx.nranks
 	if opts.FMax <= 0 {
 		return nil, fmt.Errorf("dimemas: FMax must be positive, got %v", opts.FMax)
 	}
 	if opts.Beta < 0 || opts.Beta > 1 {
 		return nil, fmt.Errorf("dimemas: beta %v outside [0, 1]", opts.Beta)
 	}
+	if opts.Freqs != nil {
+		if len(opts.Freqs) != n {
+			return nil, fmt.Errorf("dimemas: %d frequencies for %d ranks", len(opts.Freqs), n)
+		}
+		for r, f := range opts.Freqs {
+			if f <= 0 || math.IsNaN(f) {
+				return nil, fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
+			}
+		}
+	}
+
+	c := ctxPool.Get().(*simContext)
+	defer ctxPool.Put(c)
+	c.reset(idx)
 	freqs := opts.Freqs
 	if freqs == nil {
-		freqs = make([]float64, n)
-		for i := range freqs {
-			freqs[i] = opts.FMax
+		c.freqs = resetSlice(c.freqs, n)
+		for i := range c.freqs {
+			c.freqs[i] = opts.FMax
 		}
-	}
-	if len(freqs) != n {
-		return nil, fmt.Errorf("dimemas: %d frequencies for %d ranks", len(freqs), n)
-	}
-	for r, f := range freqs {
-		if f <= 0 || math.IsNaN(f) {
-			return nil, fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
-		}
+		freqs = c.freqs
 	}
 
-	ranks := make([]rankState, n)
-	channels := map[chanKey]*channel{}
-	var colls []*collInstance
-
-	getChan := func(k chanKey) *channel {
-		c := channels[k]
-		if c == nil {
-			c = &channel{}
-			channels[k] = c
-		}
-		return c
+	// Every rank starts runnable, in rank order. After that, a rank is
+	// revisited only when the event it is parked on fires: a send posted on
+	// the channel its recv is waiting for, the pairing of its rendezvous
+	// send, or the completion of its collective.
+	for r := 0; r < n; r++ {
+		c.queue = append(c.queue, int32(r))
+		c.queued[r] = true
 	}
-	getColl := func(i int) *collInstance {
-		for len(colls) <= i {
-			colls = append(colls, &collInstance{})
-		}
-		return colls[i]
+	for head := 0; head < len(c.queue); head++ {
+		r := c.queue[head]
+		c.queued[r] = false
+		c.step(int(r), t, idx, p, &opts, freqs)
 	}
-	addSeg := func(rs *rankState, start, end float64, st State) {
-		if !opts.RecordTimeline || end <= start {
-			return
-		}
-		// Merge with the previous segment when contiguous and same state.
-		if n := len(rs.segs); n > 0 && rs.segs[n-1].State == st && rs.segs[n-1].End >= start-1e-15 {
-			rs.segs[n-1].End = end
-			return
-		}
-		rs.segs = append(rs.segs, Segment{Start: start, End: end, State: st})
-	}
-
-	// step executes as many records as possible for rank r.
-	// It returns true if at least one record was retired.
-	step := func(r int) bool {
-		rs := &ranks[r]
-		recs := t.Ranks[r]
-		progressed := false
-		for rs.pc < len(recs) {
-			rec := recs[rs.pc]
-			switch rs.blocked {
-			case blockedSend:
-				if !rs.sendEntry.done {
-					return progressed
-				}
-				addSeg(rs, rs.blockStart, rs.sendEntry.end, StateComm)
-				rs.clock = rs.sendEntry.end
-				rs.sendEntry = nil
-				rs.blocked = notBlocked
-				rs.pc++
-				progressed = true
-				continue
-			case blockedColl:
-				ci := getColl(rs.collIdx)
-				if !ci.complete {
-					return progressed
-				}
-				addSeg(rs, rs.blockStart, ci.end, StateComm)
-				rs.clock = ci.end
-				rs.collIdx++
-				rs.blocked = notBlocked
-				rs.pc++
-				progressed = true
-				continue
-			case blockedRecv:
-				// Re-attempt the pairing below with the preserved block
-				// start time.
-			}
-
-			switch rec.Kind {
-			case trace.KindCompute:
-				beta := rec.Beta
-				if beta < 0 {
-					beta = opts.Beta
-				}
-				d := rec.Duration * timemodel.Slowdown(beta, opts.FMax, freqs[r])
-				addSeg(rs, rs.clock, rs.clock+d, StateCompute)
-				rs.clock += d
-				rs.compute += d
-				rs.pc++
-				progressed = true
-
-			case trace.KindSend:
-				start := rs.clock
-				rs.clock += p.Overhead
-				ch := getChan(chanKey{r, rec.Peer, rec.Tag})
-				e := &sendEntry{ready: rs.clock, bytes: rec.Bytes, rendezvous: rec.Bytes > p.EagerLimit}
-				ch.sends = append(ch.sends, e)
-				if e.rendezvous {
-					rs.blocked = blockedSend
-					rs.blockStart = start
-					rs.sendEntry = e
-					// Completion happens when the receiver pairs with us;
-					// stay blocked for now (possibly unblocked this pass if
-					// the receiver already waits — handled on next visit).
-					return progressed
-				}
-				addSeg(rs, start, rs.clock, StateComm)
-				rs.pc++
-				progressed = true
-
-			case trace.KindRecv:
-				if rs.blocked != blockedRecv {
-					rs.blockStart = rs.clock
-					rs.clock += p.Overhead
-				}
-				ch := getChan(chanKey{rec.Peer, r, rec.Tag})
-				if ch.nextSend >= len(ch.sends) {
-					rs.blocked = blockedRecv
-					return progressed
-				}
-				e := ch.sends[ch.nextSend]
-				ch.nextSend++
-				if e.rendezvous {
-					end := math.Max(rs.clock, e.ready) + p.transfer(e.bytes)
-					e.done = true
-					e.end = end
-					rs.clock = end
-				} else {
-					arrival := e.ready + p.transfer(e.bytes)
-					rs.clock = math.Max(rs.clock, arrival)
-				}
-				addSeg(rs, rs.blockStart, rs.clock, StateComm)
-				rs.blocked = notBlocked
-				rs.pc++
-				progressed = true
-
-			case trace.KindColl:
-				ci := getColl(rs.collIdx)
-				ci.arrived++
-				if rs.clock > ci.maxReady {
-					ci.maxReady = rs.clock
-				}
-				if ci.arrived == n {
-					ci.complete = true
-					ci.end = ci.maxReady + p.CollectiveCost(rec.Coll, rec.Bytes, n)
-					addSeg(rs, rs.clock, ci.end, StateComm)
-					rs.clock = ci.end
-					rs.collIdx++
-					rs.pc++
-					progressed = true
-					continue
-				}
-				rs.blocked = blockedColl
-				rs.blockStart = rs.clock
-				return progressed
-
-			case trace.KindIterMark:
-				rs.pc++
-				progressed = true
-
-			default:
-				// Unreachable after Validate; defensive.
-				rs.pc++
-				progressed = true
-			}
-		}
-		return progressed
-	}
-
-	for {
-		progressed := false
-		done := true
-		for r := 0; r < n; r++ {
-			if ranks[r].pc < len(t.Ranks[r]) {
-				if step(r) {
-					progressed = true
-				}
-				if ranks[r].pc < len(t.Ranks[r]) {
-					done = false
-				}
-			}
-		}
-		if done {
-			break
-		}
-		if !progressed {
-			return nil, deadlockError(t, ranks)
+	for r := 0; r < n; r++ {
+		if int(c.ranks[r].pc) < len(t.Ranks[r]) {
+			return nil, c.deadlockError(t)
 		}
 	}
 
@@ -329,27 +300,181 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 	if opts.RecordTimeline {
 		res.Timeline = make([][]Segment, n)
 	}
-	for r := range ranks {
-		res.Compute[r] = ranks[r].compute
-		res.Finish[r] = ranks[r].clock
-		if ranks[r].clock > res.Time {
-			res.Time = ranks[r].clock
+	for r := range c.ranks {
+		res.Compute[r] = c.ranks[r].compute
+		res.Finish[r] = c.ranks[r].clock
+		if c.ranks[r].clock > res.Time {
+			res.Time = c.ranks[r].clock
 		}
 		if opts.RecordTimeline {
-			res.Timeline[r] = ranks[r].segs
+			res.Timeline[r] = c.ranks[r].segs
+			c.ranks[r].segs = nil // segments escape into the Result; drop them from the pooled context
 		}
 	}
 	return res, nil
 }
 
-func deadlockError(t *trace.Trace, ranks []rankState) error {
+// wake marks a rank runnable. Spurious wakes are harmless: step re-checks
+// the parked condition and returns immediately when it still holds.
+func (c *simContext) wake(r int32) {
+	if !c.queued[r] {
+		c.queued[r] = true
+		c.queue = append(c.queue, r)
+	}
+}
+
+// step retires as many records as possible for rank r, parking it on the
+// first event that has not fired yet and waking the ranks unblocked by its
+// own progress.
+func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, opts *Options, freqs []float64) {
+	rs := &c.ranks[r]
+	recs := t.Ranks[r]
+	chanOf := idx.chanOf[r]
+	n := idx.nranks
+	for int(rs.pc) < len(recs) {
+		rec := &recs[rs.pc]
+		switch rs.blocked {
+		case blockedSend:
+			e := &c.sends[rs.sendIdx]
+			if !e.done {
+				return
+			}
+			c.addSeg(rs, rs.blockStart, e.end, StateComm, opts)
+			rs.clock = e.end
+			rs.blocked = notBlocked
+			rs.pc++
+			continue
+		case blockedColl:
+			ci := &c.colls[rs.collIdx]
+			if !ci.complete {
+				return
+			}
+			c.addSeg(rs, rs.blockStart, ci.end, StateComm, opts)
+			rs.clock = ci.end
+			rs.collIdx++
+			rs.blocked = notBlocked
+			rs.pc++
+			continue
+		case blockedRecv:
+			// Re-attempt the pairing below with the preserved block start.
+		}
+
+		switch rec.Kind {
+		case trace.KindCompute:
+			beta := rec.Beta
+			if beta < 0 {
+				beta = opts.Beta
+			}
+			d := rec.Duration * timemodel.Slowdown(beta, opts.FMax, freqs[r])
+			c.addSeg(rs, rs.clock, rs.clock+d, StateCompute, opts)
+			rs.clock += d
+			rs.compute += d
+			rs.pc++
+
+		case trace.KindSend:
+			start := rs.clock
+			rs.clock += p.Overhead
+			ch := &c.chans[chanOf[rs.pc]]
+			si := ch.base + ch.posted
+			ch.posted++
+			e := &c.sends[si]
+			*e = sendEntry{ready: rs.clock, bytes: rec.Bytes, rendezvous: rec.Bytes > p.EagerLimit}
+			if ch.waiter >= 0 {
+				c.wake(ch.waiter)
+				ch.waiter = -1
+			}
+			if e.rendezvous {
+				rs.blocked = blockedSend
+				rs.blockStart = start
+				rs.sendIdx = si
+				return
+			}
+			c.addSeg(rs, start, rs.clock, StateComm, opts)
+			rs.pc++
+
+		case trace.KindRecv:
+			if rs.blocked != blockedRecv {
+				rs.blockStart = rs.clock
+				rs.clock += p.Overhead
+			}
+			cid := chanOf[rs.pc]
+			ch := &c.chans[cid]
+			if ch.paired >= ch.posted {
+				rs.blocked = blockedRecv
+				ch.waiter = int32(r)
+				return
+			}
+			e := &c.sends[ch.base+ch.paired]
+			ch.paired++
+			if e.rendezvous {
+				end := math.Max(rs.clock, e.ready) + p.transfer(e.bytes)
+				e.done = true
+				e.end = end
+				rs.clock = end
+				c.wake(idx.chanSrc[cid])
+			} else {
+				arrival := e.ready + p.transfer(e.bytes)
+				rs.clock = math.Max(rs.clock, arrival)
+			}
+			c.addSeg(rs, rs.blockStart, rs.clock, StateComm, opts)
+			rs.blocked = notBlocked
+			rs.pc++
+
+		case trace.KindColl:
+			ci := &c.colls[rs.collIdx]
+			ci.arrived++
+			if rs.clock > ci.maxReady {
+				ci.maxReady = rs.clock
+			}
+			if int(ci.arrived) == n {
+				ci.complete = true
+				ci.end = ci.maxReady + p.CollectiveCost(rec.Coll, rec.Bytes, n)
+				c.addSeg(rs, rs.clock, ci.end, StateComm, opts)
+				rs.clock = ci.end
+				collID := rs.collIdx
+				rs.collIdx++
+				rs.pc++
+				for o := range c.ranks {
+					if c.ranks[o].blocked == blockedColl && c.ranks[o].collIdx == collID {
+						c.wake(int32(o))
+					}
+				}
+				continue
+			}
+			rs.blocked = blockedColl
+			rs.blockStart = rs.clock
+			return
+
+		case trace.KindIterMark:
+			rs.pc++
+
+		default:
+			// Unreachable after Validate; defensive.
+			rs.pc++
+		}
+	}
+}
+
+func (c *simContext) addSeg(rs *rankState, start, end float64, st State, opts *Options) {
+	if !opts.RecordTimeline || end <= start {
+		return
+	}
+	// Merge with the previous segment when contiguous and same state.
+	if n := len(rs.segs); n > 0 && rs.segs[n-1].State == st && rs.segs[n-1].End >= start-1e-15 {
+		rs.segs[n-1].End = end
+		return
+	}
+	rs.segs = append(rs.segs, Segment{Start: start, End: end, State: st})
+}
+
+func (c *simContext) deadlockError(t *trace.Trace) error {
 	var sb strings.Builder
-	for r := range ranks {
-		if ranks[r].pc >= len(t.Ranks[r]) {
+	for r := range c.ranks {
+		if int(c.ranks[r].pc) >= len(t.Ranks[r]) {
 			continue
 		}
-		rec := t.Ranks[r][ranks[r].pc]
-		fmt.Fprintf(&sb, " rank %d at record %d (%v)", r, ranks[r].pc, rec.Kind)
+		rec := t.Ranks[r][c.ranks[r].pc]
+		fmt.Fprintf(&sb, " rank %d at record %d (%v)", r, c.ranks[r].pc, rec.Kind)
 	}
 	return fmt.Errorf("%w:%s", ErrDeadlock, sb.String())
 }

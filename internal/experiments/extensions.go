@@ -47,6 +47,7 @@ func (s *Suite) JitterVsStatic() ([]JitterRow, error) {
 			Set:      six,
 			Beta:     s.Beta,
 			FMax:     s.Gen.FMax,
+			Cache:    s.replays,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: jitter on %s: %w", app, err)
@@ -119,6 +120,7 @@ func (s *Suite) PerPhaseStudy() ([]PhasedRow, error) {
 			Set:      six,
 			Beta:     s.Beta,
 			FMax:     s.Gen.FMax,
+			Cache:    s.replays,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: phased on %s: %w", app, err)
@@ -205,6 +207,7 @@ func (s *Suite) OptimizeGears(w io.Writer) error {
 		Beta:     s.Beta,
 		FMax:     s.Gen.FMax,
 		Grid:     0.1,
+		Cache:    s.replays,
 	})
 	if err != nil {
 		return err

@@ -147,14 +147,18 @@ func TestOptimizeGearsExperiment(t *testing.T) {
 }
 
 // TestParallelSweepMatchesSerial verifies that fanning sweep cells over a
-// worker pool produces bit-identical results to the serial run.
+// worker pool produces bit-identical results to the serial run. QuickSuite
+// defaults to parallel workers, so the serial arm forces Workers = 0.
 func TestParallelSweepMatchesSerial(t *testing.T) {
-	serial, err := sharedSuite.Figure3()
+	ser := QuickSuite()
+	ser.cache = sharedSuite.cache // share generated traces, not the config
+	ser.Workers = 0
+	serial, err := ser.Figure3()
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := QuickSuite()
-	par.cache = sharedSuite.cache // share generated traces, not the config
+	par.cache = sharedSuite.cache
 	par.Workers = 8
 	parallel, err := par.Figure3()
 	if err != nil {

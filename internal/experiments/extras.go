@@ -48,6 +48,7 @@ func (s *Suite) Scaling(app string, sizes []int) ([]ScalingRow, error) {
 			Algorithm: core.MAX,
 			Beta:      s.Beta,
 			FMax:      s.Gen.FMax,
+			Cache:     s.replays,
 		})
 		if err != nil {
 			return nil, err
@@ -116,6 +117,7 @@ func (s *Suite) AblateProtocol() ([]AblationRow, error) {
 				Algorithm: core.MAX,
 				Beta:      s.Beta,
 				FMax:      s.Gen.FMax,
+				Cache:     s.replays,
 			})
 			if err != nil {
 				return nil, err
@@ -156,6 +158,7 @@ func (s *Suite) AblateCollectiveModel() ([]AblationRow, error) {
 				Algorithm: core.MAX,
 				Beta:      s.Beta,
 				FMax:      s.Gen.FMax,
+				Cache:     s.replays,
 			})
 			if err != nil {
 				return nil, err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -21,7 +22,10 @@ func GearSetTable(set *dvfs.Set) *Table {
 		Header: []string{"Frequency (GHz)", "Voltage (V)"},
 	}
 	for _, g := range set.Gears() {
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.2f", g.Freq), fmt.Sprintf("%.2f", g.Volt)})
+		t.Rows = append(t.Rows, []string{
+			strconv.FormatFloat(g.Freq, 'f', 2, 64),
+			strconv.FormatFloat(g.Volt, 'f', 2, 64),
+		})
 	}
 	return t
 }
@@ -102,6 +106,7 @@ func (s *Suite) Figure1(w io.Writer) error {
 		Beta:            s.Beta,
 		FMax:            s.Gen.FMax,
 		RecordTimelines: true,
+		Cache:           s.replays,
 	})
 	if err != nil {
 		return err

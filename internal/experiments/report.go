@@ -1,9 +1,10 @@
 package experiments
 
 import (
-	"fmt"
+	"bytes"
 	"io"
-	"text/tabwriter"
+	"strconv"
+	"sync"
 )
 
 // Table is a printable result table.
@@ -14,60 +15,110 @@ type Table struct {
 	Notes  []string
 }
 
-// Write renders the table with aligned columns.
+// bufPool recycles render buffers: experiment reports are rendered once per
+// table per run, but benchmarks regenerate them every iteration and sweeps
+// render many tables back to back.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const colPadding = 2 // spaces between columns (the old tabwriter padding)
+
+// Write renders the table with aligned columns. Rendering is done in one
+// pass over a pooled buffer — column widths are computed directly instead
+// of going through text/tabwriter's cell bookkeeping, which dominated the
+// rendering cost — and flushed to w with a single Write call.
 func (t *Table) Write(w io.Writer) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+
 	if t.Title != "" {
-		if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
-			return err
+		buf.WriteString("## ")
+		buf.WriteString(t.Title)
+		buf.WriteString("\n\n")
+	}
+
+	// Column widths over header, underline and rows.
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
 		}
 	}
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	if len(t.Header) > 0 {
-		writeRow(tw, t.Header)
-		underline := make([]string, len(t.Header))
-		for i, h := range t.Header {
-			underline[i] = dashes(len(h))
+	widths := make([]int, ncols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
 		}
-		writeRow(tw, underline)
+	}
+	measure(t.Header)
+	for i := range t.Header {
+		if u := underlineLen(len(t.Header[i])); u > widths[i] {
+			widths[i] = u
+		}
 	}
 	for _, row := range t.Rows {
-		writeRow(tw, row)
+		measure(row)
 	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	for _, n := range t.Notes {
-		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
-			return err
+
+	writeCell := func(c string, col, rowLen int) {
+		buf.WriteString(c)
+		if col != rowLen-1 { // trailing cells are not padded
+			for k := len(c); k < widths[col]+colPadding; k++ {
+				buf.WriteByte(' ')
+			}
 		}
 	}
-	_, err := fmt.Fprintln(w)
+	if len(t.Header) > 0 {
+		for i, h := range t.Header {
+			writeCell(h, i, len(t.Header))
+		}
+		buf.WriteByte('\n')
+		for i, h := range t.Header {
+			n := underlineLen(len(h))
+			start := buf.Len()
+			for k := 0; k < n; k++ {
+				buf.WriteByte('-')
+			}
+			if i != len(t.Header)-1 {
+				for k := buf.Len() - start; k < widths[i]+colPadding; k++ {
+					buf.WriteByte(' ')
+				}
+			}
+		}
+		buf.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			writeCell(c, i, len(row))
+		}
+		buf.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		buf.WriteString("note: ")
+		buf.WriteString(n)
+		buf.WriteByte('\n')
+	}
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
 	return err
 }
 
-func writeRow(w io.Writer, cells []string) {
-	for i, c := range cells {
-		if i > 0 {
-			fmt.Fprint(w, "\t")
-		}
-		fmt.Fprint(w, c)
-	}
-	fmt.Fprintln(w)
-}
-
-func dashes(n int) string {
+// underlineLen is the header underline width (minimum 3 dashes, like the
+// old renderer).
+func underlineLen(n int) int {
 	if n < 3 {
-		n = 3
+		return 3
 	}
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = '-'
-	}
-	return string(b)
+	return n
 }
 
 // pct formats a fraction as the paper's percent values.
-func pct(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }
+func pct(x float64) string {
+	b := strconv.AppendFloat(make([]byte, 0, 12), x*100, 'f', 2, 64)
+	return string(append(b, '%'))
+}
 
 // EnergyTable renders a sweep's normalized energies (rows: apps).
 func (sw *Sweep) EnergyTable() *Table {

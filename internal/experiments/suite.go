@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -35,24 +37,36 @@ type Suite struct {
 	// serially (the cache is filled before fanning out).
 	Workers int
 
-	cache map[string]*trace.Trace
+	cache   map[string]*trace.Trace
+	replays *dimemas.ReplayCache
 }
 
 // NewSuite builds a suite from a generation config.
 func NewSuite(gen workload.Config) *Suite {
-	return &Suite{Gen: gen, Beta: timemodel.DefaultBeta, cache: map[string]*trace.Trace{}}
+	return &Suite{
+		Gen:     gen,
+		Beta:    timemodel.DefaultBeta,
+		cache:   map[string]*trace.Trace{},
+		replays: dimemas.NewReplayCache(),
+	}
 }
 
 // DefaultSuite uses the full 20-iteration generation used for the reported
-// numbers.
-func DefaultSuite() *Suite { return NewSuite(workload.DefaultConfig()) }
+// numbers, fanning sweep cells out over all available CPUs.
+func DefaultSuite() *Suite {
+	s := NewSuite(workload.DefaultConfig())
+	s.Workers = runtime.GOMAXPROCS(0)
+	return s
+}
 
 // QuickSuite trades a little calibration fidelity for speed (unit tests and
-// benchmarks).
+// benchmarks), fanning sweep cells out over all available CPUs.
 func QuickSuite() *Suite {
 	cfg := workload.DefaultConfig()
 	cfg.Iterations = 5
-	return NewSuite(cfg)
+	s := NewSuite(cfg)
+	s.Workers = runtime.GOMAXPROCS(0)
+	return s
 }
 
 // Platform returns the machine model the suite replays on.
@@ -117,6 +131,12 @@ func (s *Suite) analyze(app string, v variant) (*analysis.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return analysis.Run(s.variantConfig(tr, v))
+}
+
+// variantConfig assembles the analysis configuration of one sweep cell,
+// threading the suite's shared baseline-replay cache.
+func (s *Suite) variantConfig(tr *trace.Trace, v variant) analysis.Config {
 	beta := v.beta
 	if beta == 0 {
 		beta = s.Beta
@@ -125,7 +145,7 @@ func (s *Suite) analyze(app string, v variant) (*analysis.Result, error) {
 	if pcfg == (power.Config{}) {
 		pcfg = power.DefaultConfig()
 	}
-	return analysis.Run(analysis.Config{
+	return analysis.Config{
 		Trace:     tr,
 		Platform:  s.Gen.Platform,
 		Power:     pcfg,
@@ -133,7 +153,8 @@ func (s *Suite) analyze(app string, v variant) (*analysis.Result, error) {
 		Algorithm: v.alg,
 		Beta:      beta,
 		FMax:      s.Gen.FMax,
-	})
+		Cache:     s.replays,
+	}
 }
 
 // Cell is one measured outcome of a sweep: normalized energy, time and EDP,
@@ -156,7 +177,12 @@ type Sweep struct {
 }
 
 // runSweep evaluates all variants over all apps, optionally fanning the
-// independent cells out over Suite.Workers goroutines.
+// independent cells out over Suite.Workers goroutines. Results are
+// bit-identical to the serial run regardless of Workers: every cell is an
+// isolated, deterministic pipeline, and the shared baseline replays are
+// memoized values that do not depend on evaluation order. On failure the
+// pool stops dispatching and the error of the first failing cell in serial
+// (row-major) order is returned, matching what the serial loop reports.
 func (s *Suite) runSweep(title string, apps []string, variants []variant) (*Sweep, error) {
 	sw := &Sweep{Title: title, Apps: apps}
 	for _, v := range variants {
@@ -176,7 +202,7 @@ func (s *Suite) runSweep(title string, apps []string, variants []variant) (*Swee
 	}
 
 	run := func(i, j int) error {
-		res, err := s.analyze(apps[i], variants[j])
+		res, err := s.analyzeConcurrent(apps[i], variants[j])
 		if err != nil {
 			return fmt.Errorf("experiments: %s / %s: %w", apps[i], variants[j].name, err)
 		}
@@ -186,7 +212,12 @@ func (s *Suite) runSweep(title string, apps []string, variants []variant) (*Swee
 			EDP:         res.Norm.EDP,
 			Overclocked: res.Assignment.OverclockedFraction(),
 		}
-		sw.LB[i] = res.LB // identical for every variant of an app
+		if j == 0 {
+			// LB comes from the original execution, which is identical for
+			// every variant of an app; writing it from one designated cell
+			// keeps the parallel path free of shared writes.
+			sw.LB[i] = res.LB
+		}
 		return nil
 	}
 
@@ -201,79 +232,58 @@ func (s *Suite) runSweep(title string, apps []string, variants []variant) (*Swee
 		return sw, nil
 	}
 
-	// Worker pool over the flattened cell grid. Each cell writes to its
-	// own pre-allocated slot; the only shared write, LB[i], is the same
-	// value from every variant of row i, so last-write-wins is fine — but
-	// it is still a data race by the letter, so guard it per row.
+	// Worker pool over the flattened cell grid. Each cell writes only its
+	// own pre-allocated slots. Dispatch stops at the first observed error
+	// instead of draining the whole grid; every job dispatched before the
+	// stop still completes, which guarantees the earliest failing cell in
+	// dispatch order is always evaluated and therefore deterministically
+	// reported (any error observed before it would have to come from an
+	// even earlier cell).
 	type job struct{ i, j int }
 	jobs := make(chan job)
-	errCh := make(chan error, s.Workers)
+	errs := make([]error, len(apps)*len(variants))
+	var failed atomic.Bool
 	var wg sync.WaitGroup
-	rowMu := make([]sync.Mutex, len(apps))
 	for w := 0; w < s.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for jb := range jobs {
-				res, err := s.analyzeConcurrent(apps[jb.i], variants[jb.j])
-				if err != nil {
-					select {
-					case errCh <- fmt.Errorf("experiments: %s / %s: %w", apps[jb.i], variants[jb.j].name, err):
-					default:
-					}
-					continue
+				if err := run(jb.i, jb.j); err != nil {
+					errs[jb.i*len(variants)+jb.j] = err
+					failed.Store(true)
 				}
-				sw.Cells[jb.i][jb.j] = Cell{
-					Energy:      res.Norm.Energy,
-					Time:        res.Norm.Time,
-					EDP:         res.Norm.EDP,
-					Overclocked: res.Assignment.OverclockedFraction(),
-				}
-				rowMu[jb.i].Lock()
-				sw.LB[jb.i] = res.LB
-				rowMu[jb.i].Unlock()
 			}
 		}()
 	}
+dispatch:
 	for i := range apps {
 		for j := range variants {
+			if failed.Load() {
+				break dispatch
+			}
 			jobs <- job{i, j}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return sw, nil
 }
 
-// analyzeConcurrent is analyze without cache mutation: the trace must
-// already be cached (runSweep guarantees it).
+// analyzeConcurrent is analyze without trace-cache mutation, safe to call
+// from sweep workers: the trace must already be generated (runSweep
+// guarantees it).
 func (s *Suite) analyzeConcurrent(app string, v variant) (*analysis.Result, error) {
 	tr, ok := s.cache[app]
 	if !ok {
 		return nil, fmt.Errorf("experiments: trace %s not pre-generated", app)
 	}
-	beta := v.beta
-	if beta == 0 {
-		beta = s.Beta
-	}
-	pcfg := v.power
-	if pcfg == (power.Config{}) {
-		pcfg = power.DefaultConfig()
-	}
-	return analysis.Run(analysis.Config{
-		Trace:     tr,
-		Platform:  s.Gen.Platform,
-		Power:     pcfg,
-		Set:       v.set,
-		Algorithm: v.alg,
-		Beta:      beta,
-		FMax:      s.Gen.FMax,
-	})
+	return analysis.Run(s.variantConfig(tr, v))
 }
 
 // Cell returns the sweep cell for an app/column pair.

@@ -43,6 +43,11 @@ type Config struct {
 	Grid float64
 	// MaxRounds bounds the coordinate-descent rounds (default 8).
 	MaxRounds int
+	// Cache optionally memoizes the baseline replays: the profiling pass
+	// and the final full-replay scoring replay the same original
+	// executions, and callers sweeping several searches over the same
+	// traces share them too. Nil means uncached.
+	Cache *dimemas.ReplayCache
 }
 
 // Result reports an optimized gear set.
@@ -105,7 +110,7 @@ func Optimize(cfg Config) (*Result, error) {
 	profiles := make([]appProfile, len(cfg.Traces))
 	nominal := dvfs.GearAt(cfg.FMax)
 	for i, tr := range cfg.Traces {
-		res, err := dimemas.Simulate(tr, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
+		res, err := cfg.Cache.Original(tr, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
 		if err != nil {
 			return nil, fmt.Errorf("gearopt: profiling trace %d: %w", i, err)
 		}
@@ -240,6 +245,7 @@ func fullScore(cfg Config, set *dvfs.Set) (float64, error) {
 			Algorithm: core.MAX,
 			Beta:      cfg.Beta,
 			FMax:      cfg.FMax,
+			Cache:     cfg.Cache,
 		})
 		if err != nil {
 			return 0, err

@@ -44,6 +44,11 @@ type Config struct {
 	// SlackUp is the relative-slack fraction below which a node shifts one
 	// gear up (default 0.02). Must be below SlackDown.
 	SlackUp float64
+	// Cache optionally memoizes the per-iteration profiling replays (every
+	// rank at FMax), keyed by the parent trace and iteration index, so
+	// repeated emulations of the same trace — parameter sweeps over the
+	// slack thresholds, benchmarks — skip them. Nil means uncached.
+	Cache *dimemas.ReplayCache
 }
 
 // Result reports a Jitter emulation.
@@ -138,7 +143,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		// Original (profiling) replay of this iteration at fmax.
-		orig, err := dimemas.Simulate(sub, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
+		orig, err := cfg.Cache.OriginalSlice(cfg.Trace, it, sub, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
 		if err != nil {
 			return nil, fmt.Errorf("jitter: iteration %d original replay: %w", it, err)
 		}

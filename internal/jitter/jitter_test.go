@@ -3,7 +3,10 @@ package jitter
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
+
+	"repro/internal/dimemas"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -168,5 +171,30 @@ func TestSlackThresholdsControlAggressiveness(t *testing.T) {
 	// configuration saves more.
 	if eager.Norm.Energy >= timid.Norm.Energy {
 		t.Errorf("eager %v should save more than timid %v", eager.Norm.Energy, timid.Norm.Energy)
+	}
+}
+
+// TestCachedRunMatchesUncached re-runs the emulation with a shared replay
+// cache: results must be bit-identical and the per-iteration profiling
+// replays must be memoized under the (parent, iteration) keys.
+func TestCachedRunMatchesUncached(t *testing.T) {
+	six, _ := dvfs.Uniform(6)
+	tr := imbalancedTrace(8)
+	plain, err := Run(Config{Trace: tr, Set: six})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := dimemas.NewReplayCache()
+	for i := 0; i < 2; i++ { // second run consumes the memoized replays
+		cached, err := Run(Config{Trace: tr, Set: six, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, cached) {
+			t.Fatalf("run %d: cached emulation differs from uncached", i)
+		}
+	}
+	if got := cache.Len(); got != tr.Iterations() {
+		t.Errorf("cache holds %d replays, want one per iteration (%d)", got, tr.Iterations())
 	}
 }

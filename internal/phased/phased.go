@@ -39,6 +39,10 @@ type Config struct {
 	Set  *dvfs.Set
 	Beta float64
 	FMax float64
+	// Cache optionally memoizes the original (all-ranks-at-FMax) replay so
+	// per-phase studies sharing traces with other pipelines skip it. Nil
+	// means uncached.
+	Cache *dimemas.ReplayCache
 }
 
 // Result reports a per-phase analysis.
@@ -94,7 +98,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Original execution at fmax.
-	orig, err := dimemas.Simulate(cfg.Trace, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
+	orig, err := cfg.Cache.Original(cfg.Trace, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
 	if err != nil {
 		return nil, fmt.Errorf("phased: original replay: %w", err)
 	}

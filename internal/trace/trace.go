@@ -12,6 +12,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind enumerates trace record types.
@@ -132,11 +133,25 @@ func Coll(c Collective, bytes int64) Record {
 func IterMark() Record { return Record{Kind: KindIterMark} }
 
 // Trace is a complete message-passing execution trace.
+//
+// A trace must be treated as immutable once it has been replayed: the
+// simulator validates it and derives its channel index on first use and
+// caches both on the trace. Appending records via Add invalidates the cache
+// (the record count changes), but editing records in place after a replay
+// is not detected and yields stale, silently wrong replays — build a new
+// trace (or use ScaleCompute/ScaleComputePhased/Slice, which copy) instead.
 type Trace struct {
 	// App names the traced application instance, e.g. "BT-MZ-32".
 	App string
 	// Ranks holds one record sequence per MPI rank.
 	Ranks [][]Record
+
+	// The replay engine precomputes an index (channel tables, validation)
+	// the first time a trace is simulated and reuses it for every later
+	// replay of the same records; see ReplayIndex.
+	replayMu  sync.Mutex
+	replayIdx any
+	replayCnt int
 }
 
 // New returns an empty trace for nranks ranks.
@@ -147,9 +162,29 @@ func New(app string, nranks int) *Trace {
 // NumRanks returns the number of ranks in the trace.
 func (t *Trace) NumRanks() int { return len(t.Ranks) }
 
-// Add appends records to one rank's timeline.
+// Add appends records to one rank's timeline. Appending after a replay is
+// allowed (the cached replay index is rebuilt), but in-place edits of
+// existing records are not — see the Trace immutability note.
 func (t *Trace) Add(rank int, recs ...Record) {
 	t.Ranks[rank] = append(t.Ranks[rank], recs...)
+}
+
+// ReplayIndex returns the per-trace value built by build on first use,
+// caching it for subsequent calls. It exists for the replay engine, which
+// derives channel tables and arena sizes from the records once and reuses
+// them across every replay of the same trace. The cache is invalidated when
+// the total record count changes (records were added after the first
+// replay); beyond that the trace must be treated as immutable once
+// simulated. Safe for concurrent use; build runs at most once per cached
+// generation.
+func (t *Trace) ReplayIndex(build func(*Trace) any) any {
+	t.replayMu.Lock()
+	defer t.replayMu.Unlock()
+	if n := t.NumRecords(); t.replayIdx == nil || t.replayCnt != n {
+		t.replayIdx = build(t)
+		t.replayCnt = n
+	}
+	return t.replayIdx
 }
 
 // NumRecords returns the total record count across all ranks.
