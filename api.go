@@ -15,6 +15,7 @@ import (
 	"repro/internal/paraver"
 	"repro/internal/phased"
 	"repro/internal/power"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -82,8 +83,18 @@ func Analyze(cfg AnalysisConfig) (*AnalysisResult, error) { return analysis.Run(
 // re-simulating it each time. Safe for concurrent use.
 type ReplayCache = dimemas.ReplayCache
 
-// NewReplayCache returns an empty baseline-replay cache.
+// CacheStats snapshots a ReplayCache's hit/miss/eviction counters.
+type CacheStats = dimemas.CacheStats
+
+// NewReplayCache returns an empty, unbounded baseline-replay cache.
 func NewReplayCache() *ReplayCache { return dimemas.NewReplayCache() }
+
+// NewReplayCacheWithLimit returns a baseline-replay cache bounded to at
+// most maxEntries memoized replays (LRU eviction) — use it in long-running
+// processes such as the pwrsimd daemon. maxEntries ≤ 0 means unbounded.
+func NewReplayCacheWithLimit(maxEntries int) *ReplayCache {
+	return dimemas.NewReplayCacheWithLimit(maxEntries)
+}
 
 // CompareAlgorithms runs MAX and AVG on the same trace with their
 // respective gear sets (Figure 10 of the paper).
@@ -248,6 +259,18 @@ type PhasedResult = phased.Result
 
 // RunPhased performs the per-phase MAX analysis.
 func RunPhased(cfg PhasedConfig) (*PhasedResult, error) { return phased.Run(cfg) }
+
+// Serving — the pwrsimd HTTP daemon (cmd/pwrsimd) exposes the pipeline as
+// JSON endpoints over one shared, bounded replay cache.
+
+// ServerConfig parameterizes the pwrsimd HTTP daemon.
+type ServerConfig = server.Config
+
+// Server is the pwrsimd HTTP daemon.
+type Server = server.Server
+
+// NewServer builds the daemon over the default platform and power model.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // GearSearchConfig parameterizes the gear-placement optimizer.
 type GearSearchConfig = gearopt.Config

@@ -22,32 +22,53 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pwrsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main's body, split out so tests can drive flag parsing and the
+// error paths with injected streams.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("pwrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID    = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
-		iters    = flag.Int("iterations", 20, "iterations per generated trace")
-		outPath  = flag.String("out", "", "write the report to a file instead of stdout")
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		quiet    = flag.Bool("quiet", false, "suppress progress messages on stderr")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker-pool size for sweep cells (results are identical to serial)")
+		expID    = fs.String("experiment", "all", "experiment id (see -list) or 'all'")
+		iters    = fs.Int("iterations", 20, "iterations per generated trace")
+		outPath  = fs.String("out", "", "write the report to a file instead of stdout")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		quiet    = fs.Bool("quiet", false, "suppress progress messages on stderr")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "worker-pool size for sweep cells (results are identical to serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Description)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Description)
 		}
-		return
+		return nil
+	}
+	if *iters <= 0 {
+		return fmt.Errorf("iterations must be positive, got %d", *iters)
 	}
 
-	var out io.Writer = os.Stdout
+	out := stdout
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fatal(err)
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
+		// A failed close means a truncated report: surface it as run's
+		// error (exit 1) unless an earlier error already won.
 		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
+			if ferr := f.Close(); ferr != nil && err == nil {
+				err = ferr
 			}
 		}()
 		out = f
@@ -58,33 +79,31 @@ func main() {
 	suite := experiments.NewSuite(cfg)
 	suite.Workers = *parallel
 
-	run := func(e experiments.Experiment) {
+	runOne := func(e experiments.Experiment) error {
 		start := time.Now()
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Description)
+			fmt.Fprintf(stderr, "running %s: %s\n", e.ID, e.Description)
 		}
 		if err := e.Run(suite, out); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
 		}
+		return nil
 	}
 
 	if *expID == "all" {
 		for _, e := range experiments.All() {
-			run(e)
+			if err := runOne(e); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	e, err := experiments.ByID(*expID)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	run(e)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pwrsim:", err)
-	os.Exit(1)
+	return runOne(e)
 }

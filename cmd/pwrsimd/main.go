@@ -1,0 +1,97 @@
+// Command pwrsimd serves the simulation pipeline of "Power-Aware Load
+// Balancing Of Large Scale MPI Applications" (Etinski et al., IPDPS 2009)
+// as a long-running HTTP daemon with a shared, bounded replay cache.
+//
+// Usage:
+//
+//	pwrsimd -addr :8723
+//	pwrsimd -addr :8723 -max-inflight 16 -timeout 60s -cache-entries 512
+//
+// Endpoints: POST /v1/replay, /v1/analyze, /v1/gearopt, /v1/tracegen,
+// GET /v1/apps, /healthz, /metrics. See internal/server and README.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pwrsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until SIGINT/SIGTERM, then drains in-flight
+// requests. Split from main so tests can drive the flag and error paths.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pwrsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8723", "listen address")
+		maxInFlight  = fs.Int("max-inflight", 0, "concurrent simulation requests (0 = 2×GOMAXPROCS)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request timeout")
+		cacheEntries = fs.Int("cache-entries", 512, "replay-cache LRU bound (negative = unbounded)")
+		maxBody      = fs.Int64("max-body", 8<<20, "maximum request body bytes")
+		drain        = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *maxInFlight < 0 {
+		return fmt.Errorf("max-inflight must be non-negative, got %d", *maxInFlight)
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("timeout must be positive, got %v", *timeout)
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("drain must be positive, got %v", *drain)
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
+		MaxBodyBytes:   *maxBody,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "pwrsimd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected server exit
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "pwrsimd: shutting down, draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "pwrsimd: bye")
+	return nil
+}

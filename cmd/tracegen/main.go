@@ -21,37 +21,58 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main's body, split out so tests can drive flag parsing and the
+// error paths with injected streams.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app     = flag.String("app", "", "Table 3 instance name (e.g. IS-64) or application name with -nprocs")
-		nprocs  = flag.Int("nprocs", 0, "process count (enables interpolated instances, e.g. -app CG -nprocs 256)")
-		iters   = flag.Int("iterations", 20, "iterations to generate")
-		outPath = flag.String("o", "", "output file (default stdout)")
-		quick   = flag.Bool("quick", false, "skip parallel-efficiency calibration (faster, LB still exact)")
-		format  = flag.String("format", "text", `output format: "text" (native) or "prv" (Paraver)`)
-		list    = flag.Bool("list", false, "list Table 3 instances and exit")
+		app     = fs.String("app", "", "Table 3 instance name (e.g. IS-64) or application name with -nprocs")
+		nprocs  = fs.Int("nprocs", 0, "process count (enables interpolated instances, e.g. -app CG -nprocs 256)")
+		iters   = fs.Int("iterations", 20, "iterations to generate")
+		outPath = fs.String("o", "", "output file (default stdout)")
+		quick   = fs.Bool("quick", false, "skip parallel-efficiency calibration (faster, LB still exact)")
+		format  = fs.String("format", "text", `output format: "text" (native) or "prv" (Paraver)`)
+		list    = fs.Bool("list", false, "list Table 3 instances and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *list {
-		fmt.Printf("%-14s %8s %8s %8s\n", "instance", "nprocs", "LB", "PE")
+		fmt.Fprintf(stdout, "%-14s %8s %8s %8s\n", "instance", "nprocs", "LB", "PE")
 		for _, inst := range workload.Table3() {
-			fmt.Printf("%-14s %8d %7.2f%% %7.2f%%\n", inst.Name, inst.NProcs, inst.TargetLB*100, inst.TargetPE*100)
+			fmt.Fprintf(stdout, "%-14s %8d %7.2f%% %7.2f%%\n", inst.Name, inst.NProcs, inst.TargetLB*100, inst.TargetPE*100)
 		}
-		return
+		return nil
 	}
 	if *app == "" {
-		fatal(fmt.Errorf("missing -app (use -list to see instances)"))
+		return fmt.Errorf("missing -app (use -list to see instances)")
+	}
+	if *iters <= 0 {
+		return fmt.Errorf("iterations must be positive, got %d", *iters)
+	}
+	if *format != "text" && *format != "prv" {
+		return fmt.Errorf("unknown format %q (want text or prv)", *format)
 	}
 
 	var inst workload.Instance
-	var err error
 	if *nprocs > 0 {
 		inst, err = workload.InstanceFor(*app, *nprocs)
 	} else {
 		inst, err = workload.FindInstance(*app)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	cfg := workload.DefaultConfig()
@@ -59,24 +80,24 @@ func main() {
 	cfg.SkipPECalibration = *quick
 	tr, err := workload.Generate(inst, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	var out io.Writer = os.Stdout
+	out := stdout
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fatal(err)
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
 		bw := bufio.NewWriter(f)
+		// A failed flush or close means a truncated trace file: surface it
+		// as run's error (exit 1) unless an earlier error already won.
 		defer func() {
-			if err := bw.Flush(); err != nil {
-				fatal(err)
+			if ferr := bw.Flush(); ferr != nil && err == nil {
+				err = ferr
+			}
+			if ferr := f.Close(); ferr != nil && err == nil {
+				err = ferr
 			}
 		}()
 		out = bw
@@ -86,16 +107,10 @@ func main() {
 		err = trace.Write(out, tr)
 	case "prv":
 		err = paraver.Write(out, tr)
-	default:
-		err = fmt.Errorf("unknown format %q (want text or prv)", *format)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %s — %d ranks, %d records\n", inst.Name, tr.NumRanks(), tr.NumRecords())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "tracegen: %s — %d ranks, %d records\n", inst.Name, tr.NumRanks(), tr.NumRecords())
+	return nil
 }

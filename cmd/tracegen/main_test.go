@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"IS-64", "WRF-128", "PEPC-128"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"positional args", []string{"IS-64"}, "unexpected arguments"},
+		{"missing app", []string{}, "missing -app"},
+		{"unknown instance", []string{"-app", "NOPE-32"}, "unknown instance"},
+		{"unknown application", []string{"-app", "NOPE", "-nprocs", "64"}, "unknown application"},
+		{"bad nprocs", []string{"-app", "CG", "-nprocs", "1"}, "at least 2 processes"},
+		{"bad iterations", []string{"-app", "IS-64", "-iterations", "0"}, "iterations must be positive"},
+		{"bad format", []string{"-app", "IS-64", "-format", "xml"}, "unknown format"},
+		{"unwritable out", []string{"-app", "IS-64", "-quick", "-o", "/nonexistent-dir/x/t.trace"}, "no such file"},
+	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		err := run(tc.args, &out, &errOut)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunGeneratesParseableTrace(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-app", "IS-32", "-iterations", "2", "-quick"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("generated trace does not parse: %v", err)
+	}
+	if tr.NumRanks() != 32 {
+		t.Fatalf("trace has %d ranks, want 32", tr.NumRanks())
+	}
+	if !strings.Contains(errOut.String(), "IS-32") {
+		t.Fatalf("summary line missing: %s", errOut.String())
+	}
+}
+
+func TestRunWritesFileAndPrvFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "is32.trace")
+	var out, errOut strings.Builder
+	if err := run([]string{"-app", "IS-32", "-iterations", "2", "-quick", "-o", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("-o set but trace went to stdout")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Read(strings.NewReader(string(b))); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+
+	var prv strings.Builder
+	if err := run([]string{"-app", "IS-32", "-iterations", "2", "-quick", "-format", "prv"}, &prv, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(prv.String(), "#Paraver") {
+		t.Fatalf("prv output missing #Paraver header: %.60q", prv.String())
+	}
+}

@@ -1,6 +1,7 @@
 package dimemas
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/trace"
@@ -25,6 +26,25 @@ type replayEntry struct {
 	err  error
 }
 
+// lruItem pairs a key with its entry so eviction from the list can also
+// delete the map slot.
+type lruItem struct {
+	key   replayKey
+	entry *replayEntry
+}
+
+// CacheStats is a point-in-time snapshot of a ReplayCache's counters.
+type CacheStats struct {
+	// Hits counts lookups that found a memoized (or in-flight) replay.
+	Hits int64
+	// Misses counts lookups that had to start a fresh replay.
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Entries is the current number of memoized replays.
+	Entries int
+}
+
 // ReplayCache memoizes baseline replays — simulations with Options.Freqs ==
 // nil, i.e. every rank at FMax — keyed by (trace, β, FMax, platform). Every
 // analysis pipeline starts from exactly this replay, and sweeps re-run it
@@ -35,14 +55,37 @@ type replayEntry struct {
 // Timeline as read-only. Keying is by trace identity, so traces must not be
 // mutated after their first cached replay. Safe for concurrent use;
 // concurrent misses on the same key are single-flighted.
+//
+// A cache built with NewReplayCacheWithLimit evicts the least recently used
+// replay once it holds more than the configured number of entries, so
+// long-running processes (e.g. the pwrsimd daemon) hold a bounded working
+// set. An evicted in-flight replay still completes for the callers already
+// waiting on it; later lookups simply recompute it.
 type ReplayCache struct {
-	mu sync.Mutex
-	m  map[replayKey]*replayEntry
+	mu        sync.Mutex
+	max       int // 0 means unbounded
+	m         map[replayKey]*list.Element
+	lru       *list.List // front = most recently used; values are *lruItem
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-// NewReplayCache returns an empty cache.
-func NewReplayCache() *ReplayCache {
-	return &ReplayCache{m: make(map[replayKey]*replayEntry)}
+// NewReplayCache returns an empty, unbounded cache.
+func NewReplayCache() *ReplayCache { return NewReplayCacheWithLimit(0) }
+
+// NewReplayCacheWithLimit returns an empty cache bounded to at most
+// maxEntries memoized replays (LRU eviction). maxEntries ≤ 0 means
+// unbounded.
+func NewReplayCacheWithLimit(maxEntries int) *ReplayCache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &ReplayCache{
+		max: maxEntries,
+		m:   make(map[replayKey]*list.Element),
+		lru: list.New(),
+	}
 }
 
 // Original returns the memoized baseline replay of t under opts, simulating
@@ -75,10 +118,21 @@ func (c *ReplayCache) original(keyTrace *trace.Trace, slice int, sim *trace.Trac
 		timeline: opts.RecordTimeline,
 	}
 	c.mu.Lock()
-	e := c.m[k]
-	if e == nil {
+	var e *replayEntry
+	if el, ok := c.m[k]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		e = el.Value.(*lruItem).entry
+	} else {
+		c.misses++
 		e = &replayEntry{}
-		c.m[k] = e
+		c.m[k] = c.lru.PushFront(&lruItem{key: k, entry: e})
+		if c.max > 0 && c.lru.Len() > c.max {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.m, back.Value.(*lruItem).key)
+			c.evictions++
+		}
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.res, e.err = Simulate(sim, p, opts) })
@@ -93,4 +147,15 @@ func (c *ReplayCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats snapshots the hit/miss/eviction counters. Safe on a nil receiver
+// (returns zeros).
+func (c *ReplayCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.m)}
 }

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServerAnalyze measures end-to-end /v1/analyze throughput on a
+// warm cache: every iteration pays JSON decode + gear assignment + DVFS
+// replay, but shares the memoized baseline replay and generated trace.
+func BenchmarkServerAnalyze(b *testing.B) {
+	s := New(Config{MaxInFlight: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(AnalyzeRequest{
+		Trace:   TraceSpec{App: "IS-32", Iterations: 3, Quick: true},
+		GearSet: GearSetSpec{Kind: "uniform"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm the trace and replay caches outside the timed region.
+	if err := post(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := post(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

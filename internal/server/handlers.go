@@ -1,0 +1,189 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dimemas"
+	"repro/internal/gearopt"
+	"repro/internal/trace"
+)
+
+// HealthBody is the GET /healthz response.
+type HealthBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.reg.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.render(w, s.cache.Stats())
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, NewAppsResponse())
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := call(r.Context(), func() (*ReplayResponse, error) {
+		tr, err := s.traceFor(req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		opts, err := normalizeOptions(dimemas.Options{Beta: req.Beta, FMax: req.FMax})
+		if err != nil {
+			return nil, err
+		}
+		if len(req.Freqs) > 0 {
+			if len(req.Freqs) != tr.NumRanks() {
+				return nil, errFreqCount(len(req.Freqs), tr.NumRanks())
+			}
+			opts.Freqs = req.Freqs
+		}
+		res, err := s.cache.Original(tr, s.platform, opts)
+		if err != nil {
+			return nil, err
+		}
+		return NewReplayResponse(tr.App, res), nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := call(r.Context(), func() (*AnalyzeResponse, error) {
+		tr, err := s.traceFor(req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		algo, err := parseAlgorithm(req.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		set, err := req.GearSet.set()
+		if err != nil {
+			return nil, err
+		}
+		res, err := analysis.Run(analysis.Config{
+			Trace:     tr,
+			Platform:  s.platform,
+			Power:     s.power,
+			Set:       set,
+			Algorithm: algo,
+			Beta:      req.Beta,
+			FMax:      req.FMax,
+			Cache:     s.cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewAnalyzeResponse(set.Name(), res), nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
+	var req GearOptRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := call(r.Context(), func() (*GearOptResponse, error) {
+		if len(req.Traces) == 0 || len(req.Traces) > MaxGearOptTraces {
+			return nil, errTraceCount(len(req.Traces))
+		}
+		traces := make([]*trace.Trace, len(req.Traces))
+		for i, spec := range req.Traces {
+			tr, err := s.traceFor(spec)
+			if err != nil {
+				return nil, err
+			}
+			traces[i] = tr
+		}
+		ngears := req.NGears
+		if ngears == 0 {
+			ngears = 6
+		}
+		if ngears > MaxGears {
+			return nil, errGearCount(ngears)
+		}
+		res, err := gearopt.Optimize(gearopt.Config{
+			Traces:    traces,
+			NGears:    ngears,
+			Platform:  s.platform,
+			Power:     s.power,
+			Beta:      req.Beta,
+			FMax:      req.FMax,
+			Grid:      req.Grid,
+			MaxRounds: req.MaxRounds,
+			Cache:     s.cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewGearOptResponse(res), nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTracegen(w http.ResponseWriter, r *http.Request) {
+	var req TracegenRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := call(r.Context(), func() (*TracegenResponse, error) {
+		if req.Trace.Text != "" {
+			return nil, errInlineTracegen
+		}
+		tr, err := s.traceFor(req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		var sb strings.Builder
+		if err := trace.Write(&sb, tr); err != nil {
+			return nil, err
+		}
+		return &TracegenResponse{
+			Name:    tr.App,
+			Ranks:   tr.NumRanks(),
+			Records: tr.NumRecords(),
+			Trace:   sb.String(),
+		}, nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dimemas"
+)
+
+// routeStats accumulates request counts and latencies for one route.
+type routeStats struct {
+	count        int64
+	errors       int64
+	totalSeconds float64
+	maxSeconds   float64
+}
+
+// registry collects the daemon's operational counters. All methods are safe
+// for concurrent use.
+type registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	inFlight int64
+	rejected int64
+	timeouts int64
+	routes   map[string]*routeStats
+}
+
+func newRegistry() *registry {
+	return &registry{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+func (g *registry) enter() {
+	g.mu.Lock()
+	g.inFlight++
+	g.mu.Unlock()
+}
+
+func (g *registry) exit() {
+	g.mu.Lock()
+	g.inFlight--
+	g.mu.Unlock()
+}
+
+func (g *registry) reject() {
+	g.mu.Lock()
+	g.rejected++
+	g.mu.Unlock()
+}
+
+func (g *registry) timeout() {
+	g.mu.Lock()
+	g.timeouts++
+	g.mu.Unlock()
+}
+
+// observe records one finished request on a route. isErr marks non-2xx
+// outcomes.
+func (g *registry) observe(route string, d time.Duration, isErr bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rs := g.routes[route]
+	if rs == nil {
+		rs = &routeStats{}
+		g.routes[route] = rs
+	}
+	rs.count++
+	if isErr {
+		rs.errors++
+	}
+	sec := d.Seconds()
+	rs.totalSeconds += sec
+	if sec > rs.maxSeconds {
+		rs.maxSeconds = sec
+	}
+}
+
+// render writes the Prometheus text exposition of the counters plus the
+// shared replay cache's stats. Routes are sorted for deterministic output.
+func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
+	g.mu.Lock()
+	inFlight, rejected, timeouts := g.inFlight, g.rejected, g.timeouts
+	uptime := time.Since(g.start).Seconds()
+	routes := make([]string, 0, len(g.routes))
+	for r := range g.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	snap := make(map[string]routeStats, len(g.routes))
+	for r, rs := range g.routes {
+		snap[r] = *rs
+	}
+	g.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pwrsimd_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "pwrsimd_uptime_seconds %g\n", uptime)
+	fmt.Fprintf(w, "# HELP pwrsimd_in_flight Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_in_flight gauge\n")
+	fmt.Fprintf(w, "pwrsimd_in_flight %d\n", inFlight)
+	fmt.Fprintf(w, "# HELP pwrsimd_rejected_total Requests rejected by the in-flight limit.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_rejected_total counter\n")
+	fmt.Fprintf(w, "pwrsimd_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "# HELP pwrsimd_timeouts_total Requests aborted by the per-request timeout.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_timeouts_total counter\n")
+	fmt.Fprintf(w, "pwrsimd_timeouts_total %d\n", timeouts)
+
+	fmt.Fprintf(w, "# HELP pwrsimd_cache_hits_total Replay-cache hits.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "pwrsimd_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "# HELP pwrsimd_cache_misses_total Replay-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "pwrsimd_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# HELP pwrsimd_cache_evictions_total Replay-cache LRU evictions.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "pwrsimd_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "# HELP pwrsimd_cache_entries Replay-cache current entry count.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_cache_entries gauge\n")
+	fmt.Fprintf(w, "pwrsimd_cache_entries %d\n", cache.Entries)
+
+	fmt.Fprintf(w, "# HELP pwrsimd_requests_total Finished requests by route.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_requests_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(w, "pwrsimd_requests_total{route=%q} %d\n", r, snap[r].count)
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_request_errors_total Non-2xx requests by route.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_request_errors_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(w, "pwrsimd_request_errors_total{route=%q} %d\n", r, snap[r].errors)
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_request_seconds_sum Summed request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_request_seconds_sum counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(w, "pwrsimd_request_seconds_sum{route=%q} %g\n", r, snap[r].totalSeconds)
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_request_seconds_max Worst observed request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_request_seconds_max gauge\n")
+	for _, r := range routes {
+		fmt.Fprintf(w, "pwrsimd_request_seconds_max{route=%q} %g\n", r, snap[r].maxSeconds)
+	}
+}

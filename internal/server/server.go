@@ -1,0 +1,388 @@
+// Package server implements pwrsimd, the HTTP daemon that serves the
+// paper's simulation pipeline as JSON endpoints. One process holds one
+// bounded dimemas.ReplayCache and one generated-workload cache shared by
+// every handler, so repeated what-if queries over the same application pay
+// for the baseline replay (and the trace generation) exactly once.
+//
+// Endpoints:
+//
+//	POST /v1/replay    — replay a trace at given per-rank frequencies
+//	POST /v1/analyze   — MAX/AVG policy analysis with energy metrics
+//	POST /v1/gearopt   — gear-placement search over a workload list
+//	POST /v1/tracegen  — generate a Table 3 synthetic workload
+//	GET  /v1/apps      — list the Table 3 instances
+//	GET  /healthz      — liveness
+//	GET  /metrics      — Prometheus text: cache stats, latencies, in-flight
+//
+// Simulation endpoints run behind a configurable in-flight limit (excess
+// requests get 503) and a per-request timeout (504). Shutdown drains
+// in-flight requests.
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dimemas"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Addr is the listen address (default ":8723").
+	Addr string
+	// MaxInFlight bounds concurrently served simulation requests; excess
+	// requests are rejected with 503. Default 2×GOMAXPROCS.
+	MaxInFlight int
+	// RequestTimeout aborts a simulation request with 504 after this long.
+	// Default 60s.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the shared replay cache (LRU). Default 512;
+	// negative means unbounded.
+	CacheEntries int
+	// TraceCacheEntries bounds the generated-workload cache (LRU). Default
+	// 32; negative means unbounded.
+	TraceCacheEntries int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8723"
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
+	}
+	if c.TraceCacheEntries == 0 {
+		c.TraceCacheEntries = 32
+	}
+	if c.TraceCacheEntries < 0 {
+		c.TraceCacheEntries = 0 // unbounded
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// traceKey identifies one memoized generated workload.
+type traceKey struct {
+	app        string
+	nprocs     int
+	iterations int
+	quick      bool
+}
+
+// traceEntry single-flights one workload generation.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// traceItem pairs a key with its entry for LRU eviction.
+type traceItem struct {
+	key   traceKey
+	entry *traceEntry
+}
+
+// Server is the pwrsimd HTTP daemon. Create it with New; it is ready to
+// serve via Handler (tests), Serve (custom listener) or ListenAndServe.
+type Server struct {
+	cfg      Config
+	cache    *dimemas.ReplayCache
+	reg      *registry
+	mux      *http.ServeMux
+	http     *http.Server
+	sem      chan struct{}
+	platform dimemas.Platform
+	power    power.Config
+
+	tmu    sync.Mutex
+	traces map[traceKey]*list.Element
+	tlru   *list.List // front = most recently used; values are *traceItem
+}
+
+// New builds a Server over the default platform and power model.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    dimemas.NewReplayCacheWithLimit(cfg.CacheEntries),
+		reg:      newRegistry(),
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		platform: dimemas.DefaultPlatform(),
+		power:    power.DefaultConfig(),
+		traces:   make(map[traceKey]*list.Element),
+		tlru:     list.New(),
+	}
+	s.routes()
+	s.http = &http.Server{Addr: cfg.Addr, Handler: s.mux}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
+	s.mux.HandleFunc("POST /v1/replay", s.limited("/v1/replay", s.handleReplay))
+	s.mux.HandleFunc("POST /v1/analyze", s.limited("/v1/analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/gearopt", s.limited("/v1/gearopt", s.handleGearOpt))
+	s.mux.HandleFunc("POST /v1/tracegen", s.limited("/v1/tracegen", s.handleTracegen))
+}
+
+// Handler exposes the route table (for httptest-based tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the shared replay cache (for tests and diagnostics).
+func (s *Server) Cache() *dimemas.ReplayCache { return s.cache }
+
+// Addr reports the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
+
+// ListenAndServe listens on the configured address until Shutdown.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// statusWriter remembers the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/error accounting.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.reg.observe(route, time.Since(start), sw.status >= 400)
+	}
+}
+
+// semToken ties one in-flight semaphore slot to the lifetime of the actual
+// simulation work. A request that times out (504) abandons its goroutine
+// but must NOT free the slot early, or MaxInFlight would stop bounding the
+// number of concurrently running simulations; the work goroutine frees the
+// token when it really finishes.
+type semToken struct {
+	mu       sync.Mutex
+	claimed  bool
+	released bool
+	release  func()
+}
+
+// claim transfers release responsibility to a work goroutine; it returns
+// false if another call already owns the token.
+func (t *semToken) claim() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.claimed {
+		return false
+	}
+	t.claimed = true
+	return true
+}
+
+// free releases the semaphore slot exactly once.
+func (t *semToken) free() {
+	t.mu.Lock()
+	done := t.released
+	t.released = true
+	t.mu.Unlock()
+	if !done {
+		t.release()
+	}
+}
+
+type semTokenKey struct{}
+
+// limited wraps a simulation handler with the in-flight semaphore, the
+// per-request timeout and metrics. Handlers receive a request whose context
+// carries the deadline and the semaphore token consumed by call.
+func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrument(route, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.reg.reject()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("server at capacity (%d in flight)", cap(s.sem)))
+			return
+		}
+		token := &semToken{release: func() { <-s.sem }}
+		defer func() {
+			// If no call() claimed the token (e.g. the body failed to
+			// decode), the slot is still ours to free.
+			if !token.claim() {
+				return
+			}
+			token.free()
+		}()
+		s.reg.enter()
+		defer s.reg.exit()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		ctx = context.WithValue(ctx, semTokenKey{}, token)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// call runs f off-handler and returns its result, or ctx's error if the
+// deadline fires first. The simulation itself cannot be cancelled
+// mid-flight; it finishes in the background (and, for cached baselines,
+// still populates the shared cache) while the request returns 504 — but it
+// keeps holding its in-flight slot until it truly finishes, so MaxInFlight
+// bounds running simulations, not just attached requests.
+func call[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	token, _ := ctx.Value(semTokenKey{}).(*semToken)
+	owned := token != nil && token.claim()
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		if owned {
+			defer token.free()
+		}
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// traceFor resolves a TraceSpec: inline text is parsed per request;
+// generated workloads are memoized so every request for the same instance
+// shares one trace identity — the property the replay cache keys on.
+func (s *Server) traceFor(spec TraceSpec) (*trace.Trace, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Text != "" {
+		tr, err := trace.Read(strings.NewReader(spec.Text))
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		return tr, nil
+	}
+	inst, err := spec.instance()
+	if err != nil {
+		return nil, err
+	}
+	iters := spec.Iterations
+	if iters == 0 {
+		iters = workload.DefaultConfig().Iterations
+	}
+	k := traceKey{app: inst.Name, nprocs: inst.NProcs, iterations: iters, quick: spec.Quick}
+	s.tmu.Lock()
+	var e *traceEntry
+	if el, ok := s.traces[k]; ok {
+		s.tlru.MoveToFront(el)
+		e = el.Value.(*traceItem).entry
+	} else {
+		e = &traceEntry{}
+		s.traces[k] = s.tlru.PushFront(&traceItem{key: k, entry: e})
+		// Bound the memo: a long-running daemon must not accumulate one
+		// trace per distinct (app, nprocs, iterations, quick) tuple
+		// forever. Replay-cache entries keyed by an evicted trace simply
+		// age out of that LRU in turn.
+		if max := s.cfg.TraceCacheEntries; max > 0 && s.tlru.Len() > max {
+			back := s.tlru.Back()
+			s.tlru.Remove(back)
+			delete(s.traces, back.Value.(*traceItem).key)
+		}
+	}
+	s.tmu.Unlock()
+	e.once.Do(func() {
+		cfg := workload.DefaultConfig()
+		cfg.Iterations = iters
+		cfg.SkipPECalibration = spec.Quick
+		e.tr, e.err = workload.Generate(inst, cfg)
+	})
+	return e.tr, e.err
+}
+
+// writeJSON writes v as a compact JSON body with a trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorBody{Error: msg})
+}
+
+// decode strictly parses a JSON request body.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	return nil
+}
+
+// statusClientClosedRequest is nginx's non-standard code for a client that
+// hung up before the response; it keeps abandoned requests out of the 504
+// timeout accounting.
+const statusClientClosedRequest = 499
+
+// finishErr maps a pipeline error onto a status code.
+func finishErr(s *Server, w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.timeout()
+		writeError(w, http.StatusGatewayTimeout, "request timed out")
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "client closed request")
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}

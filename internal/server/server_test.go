@@ -1,0 +1,611 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/gearopt"
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testSpec is the small, fast workload most tests run against.
+var testSpec = TraceSpec{App: "IS-32", Iterations: 3, Quick: true}
+
+// genTestTrace builds the library-side equivalent of testSpec-style specs.
+func genTestTrace(t testing.TB, spec TraceSpec) *trace.Trace {
+	t.Helper()
+	inst, err := workload.FindInstance(spec.App)
+	if spec.NProcs > 0 {
+		inst, err = workload.InstanceFor(spec.App, spec.NProcs)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Iterations = spec.Iterations
+	cfg.SkipPECalibration = spec.Quick
+	tr, err := workload.Generate(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t testing.TB, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getBody(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// wire marshals a response struct exactly the way the server does.
+func wire(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func TestReplayByteIdenticalToLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Baseline replay: no explicit frequencies.
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	tr := genTestTrace(t, testSpec)
+	res, err := dimemas.Simulate(tr, dimemas.DefaultPlatform(), dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewReplayResponse(tr.App, res)); !bytes.Equal(got, want) {
+		t.Fatalf("replay response differs from library call\n got: %s\nwant: %s", got, want)
+	}
+
+	// Explicit per-rank frequencies.
+	freqs := make([]float64, tr.NumRanks())
+	for i := range freqs {
+		freqs[i] = 1.4
+	}
+	code, got = postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, Beta: 0.3})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	res, err = dimemas.Simulate(tr, dimemas.DefaultPlatform(), dimemas.Options{Beta: 0.3, FMax: dvfs.FMax, Freqs: freqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewReplayResponse(tr.App, res)); !bytes.Equal(got, want) {
+		t.Fatalf("scaled replay response differs from library call\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestAnalyzeByteIdenticalToLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		algo string
+		spec GearSetSpec
+	}{
+		{"MAX", GearSetSpec{Kind: "exponential", N: 6}},
+		{"AVG", GearSetSpec{Kind: "uniform", N: 6, Overclock: true}},
+		{"MAX", GearSetSpec{Kind: "continuous-limited"}},
+	} {
+		req := AnalyzeRequest{Trace: testSpec, Algorithm: tc.algo, GearSet: tc.spec}
+		code, got := postJSON(t, ts.URL+"/v1/analyze", req)
+		if code != http.StatusOK {
+			t.Fatalf("%s/%s: status %d: %s", tc.algo, tc.spec.Kind, code, got)
+		}
+
+		set, err := tc.spec.set()
+		if err != nil {
+			t.Fatal(err)
+		}
+		algo := core.MAX
+		if tc.algo == "AVG" {
+			algo = core.AVG
+		}
+		res, err := analysis.Run(analysis.Config{
+			Trace:     genTestTrace(t, testSpec),
+			Set:       set,
+			Algorithm: algo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := wire(t, NewAnalyzeResponse(set.Name(), res)); !bytes.Equal(got, want) {
+			t.Fatalf("%s/%s: analyze response differs from library call\n got: %s\nwant: %s", tc.algo, tc.spec.Kind, got, want)
+		}
+	}
+}
+
+func TestGearOptByteIdenticalToLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := GearOptRequest{
+		Traces:    []TraceSpec{testSpec},
+		NGears:    3,
+		Grid:      0.25,
+		MaxRounds: 2,
+	}
+	code, got := postJSON(t, ts.URL+"/v1/gearopt", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	res, err := gearopt.Optimize(gearopt.Config{
+		Traces:    []*trace.Trace{genTestTrace(t, testSpec)},
+		NGears:    3,
+		Grid:      0.25,
+		MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewGearOptResponse(res)); !bytes.Equal(got, want) {
+		t.Fatalf("gearopt response differs from library call\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestTracegenMatchesLibraryAndRoundTrips(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, got := postJSON(t, ts.URL+"/v1/tracegen", TracegenRequest{Trace: testSpec})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	var resp TracegenResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	tr := genTestTrace(t, testSpec)
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != sb.String() {
+		t.Fatal("generated trace text differs from library call")
+	}
+	if resp.Ranks != tr.NumRanks() || resp.Records != tr.NumRecords() {
+		t.Fatalf("metadata %d ranks/%d records, want %d/%d", resp.Ranks, resp.Records, tr.NumRanks(), tr.NumRecords())
+	}
+	back, err := trace.Read(strings.NewReader(resp.Trace))
+	if err != nil {
+		t.Fatalf("generated trace does not round-trip: %v", err)
+	}
+	if back.NumRecords() != tr.NumRecords() {
+		t.Fatal("round-tripped trace lost records")
+	}
+}
+
+func TestInlineTextTraceReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := genTestTrace(t, testSpec)
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: TraceSpec{Text: sb.String()}})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	// The library-side equivalent of an inline text trace is the re-parsed
+	// trace (text serialization rounds durations), exactly what the server
+	// replayed.
+	parsed, err := trace.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dimemas.Simulate(parsed, dimemas.DefaultPlatform(), dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewReplayResponse(parsed.App, res)); !bytes.Equal(got, want) {
+		t.Fatal("inline-text replay differs from library call")
+	}
+}
+
+func TestAppsListsTable3(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, got := getBody(t, ts.URL+"/v1/apps")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if want := wire(t, NewAppsResponse()); !bytes.Equal(got, want) {
+		t.Fatalf("apps response differs\n got: %s\nwant: %s", got, want)
+	}
+	var resp AppsResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Apps) != len(workload.Table3()) {
+		t.Fatalf("%d apps, want %d", len(resp.Apps), len(workload.Table3()))
+	}
+}
+
+func TestSharedCacheAcrossRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Same workload, two different gear sets: the baseline replay must be
+	// simulated once and hit on every later request.
+	for _, kind := range []string{"uniform", "exponential"} {
+		code, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Trace: testSpec, GearSet: GearSetSpec{Kind: kind}})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", kind, code, body)
+		}
+	}
+	code, _ := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	if code != http.StatusOK {
+		t.Fatalf("replay status %d", code)
+	}
+	st := s.Cache().Stats()
+	if st.Misses != 1 {
+		t.Fatalf("cache misses = %d, want 1 (one baseline replay for all requests)", st.Misses)
+	}
+	if st.Hits < 2 {
+		t.Fatalf("cache hits = %d, want ≥ 2", st.Hits)
+	}
+}
+
+func TestConcurrentMixedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 32})
+	kinds := []string{"uniform", "exponential", "continuous-limited", "continuous-unlimited"}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	bodies := make([][]byte, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0, 1, 2:
+				code, body := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+					Trace:   testSpec,
+					GearSet: GearSetSpec{Kind: kinds[i%len(kinds)]},
+				})
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("analyze %d: status %d: %s", i, code, body)
+					return
+				}
+				bodies[i] = body
+			case 3:
+				code, body := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("replay %d: status %d: %s", i, code, body)
+					return
+				}
+				bodies[i] = body
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// Identical requests must produce identical bytes even under load.
+	for i := 0; i < 16; i += 4 {
+		for j := i + 4; j < 16; j += 4 {
+			if !bytes.Equal(bodies[i], bodies[j]) {
+				t.Fatalf("requests %d and %d (identical inputs) returned different bytes", i, j)
+			}
+		}
+	}
+}
+
+func TestCapacityRejection(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+	// Occupy the only slot directly, then any simulation request must be
+	// rejected with 503 without queueing.
+	s.sem <- struct{}{}
+	code, body := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", code, body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("503 body is not an error envelope: %s", body)
+	}
+	<-s.sem
+	code, _ = postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	if code != http.StatusOK {
+		t.Fatalf("after releasing the slot: status %d, want 200", code)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	code, body := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", code, body)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+		body string
+	}{
+		{"unknown field", "/v1/replay", `{"nope": 1}`},
+		{"no trace", "/v1/replay", `{}`},
+		{"text and app", "/v1/replay", `{"trace": {"text": "x", "app": "IS-32"}}`},
+		{"unknown app", "/v1/replay", `{"trace": {"app": "NOPE-32"}}`},
+		{"iterations too large", "/v1/replay", `{"trace": {"app": "IS-32", "iterations": 100000}}`},
+		{"nprocs too large", "/v1/replay", `{"trace": {"app": "CG", "nprocs": 100000000}}`},
+		{"nprocs x iterations too large", "/v1/replay", `{"trace": {"app": "CG", "nprocs": 2048, "iterations": 500}}`},
+		{"freq count mismatch", "/v1/replay", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "freqs": [1.4]}`},
+		{"negative beta", "/v1/replay", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "beta": -1}`},
+		{"bad algorithm", "/v1/analyze", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "algorithm": "MINMAX"}`},
+		{"bad gear kind", "/v1/analyze", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "gear_set": {"kind": "nope"}}`},
+		{"custom set needs freqs", "/v1/analyze", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "gear_set": {"kind": "custom"}}`},
+		{"gearopt no traces", "/v1/gearopt", `{}`},
+		{"tracegen inline text", "/v1/tracegen", `{"trace": {"text": "x"}}`},
+		{"malformed json", "/v1/analyze", `{"trace":`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var eb ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: body is not an error envelope: %s", tc.name, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, _ := getBody(t, ts.URL+"/v1/replay")
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/replay: status %d, want 405", code)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var hb HealthBody
+	if err := json.Unmarshal(body, &hb); err != nil || hb.Status != "ok" {
+		t.Fatalf("healthz body: %s", body)
+	}
+
+	// Generate some traffic, then check the exposition contains every
+	// metric family.
+	postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	code, body = getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"pwrsimd_uptime_seconds",
+		"pwrsimd_in_flight 0",
+		"pwrsimd_cache_hits_total 1",
+		"pwrsimd_cache_misses_total 1",
+		"pwrsimd_cache_evictions_total 0",
+		"pwrsimd_cache_entries 1",
+		`pwrsimd_requests_total{route="/v1/replay"} 2`,
+		`pwrsimd_request_errors_total{route="/v1/replay"} 0`,
+		`pwrsimd_request_seconds_sum{route="/v1/replay"}`,
+		`pwrsimd_request_seconds_max{route="/v1/replay"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCacheEvictionUnderBound(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 1})
+	specA := TraceSpec{App: "IS-32", Iterations: 3, Quick: true}
+	specB := TraceSpec{App: "CG-32", Iterations: 3, Quick: true}
+	for _, spec := range []TraceSpec{specA, specB, specA} {
+		code, body := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: spec})
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+	}
+	st := s.Cache().Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (bounded)", st.Entries)
+	}
+	if st.Evictions < 2 {
+		t.Fatalf("evictions = %d, want ≥ 2", st.Evictions)
+	}
+}
+
+func TestTraceCacheBounded(t *testing.T) {
+	s, ts := newTestServer(t, Config{TraceCacheEntries: 1})
+	for _, app := range []string{"IS-32", "CG-32", "MG-32"} {
+		code, body := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: TraceSpec{App: app, Iterations: 3, Quick: true}})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", app, code, body)
+		}
+	}
+	s.tmu.Lock()
+	n, lruLen := len(s.traces), s.tlru.Len()
+	s.tmu.Unlock()
+	if n != 1 || lruLen != 1 {
+		t.Fatalf("trace memo holds %d map entries / %d lru entries, want 1/1", n, lruLen)
+	}
+}
+
+// TestTimeoutKeepsSlotUntilWorkFinishes proves a 504'd request's abandoned
+// work keeps holding its in-flight slot (so MaxInFlight bounds running
+// simulations, not just attached requests), and that the slot is freed once
+// the work really completes. It drives limited/call directly with a
+// blockable work function to make the ordering deterministic.
+func TestTimeoutKeepsSlotUntilWorkFinishes(t *testing.T) {
+	s := New(Config{MaxInFlight: 1, RequestTimeout: time.Millisecond})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := s.limited("/test", func(w http.ResponseWriter, r *http.Request) {
+		_, err := call(r.Context(), func() (struct{}, error) {
+			close(started)
+			<-release
+			return struct{}{}, nil
+		})
+		if err != nil {
+			finishErr(s, w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	do := func() int {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest("POST", "/test", nil))
+		return rec.Code
+	}
+
+	if code := do(); code != http.StatusGatewayTimeout {
+		t.Fatalf("first request: status %d, want 504", code)
+	}
+	<-started
+	// The abandoned work still owns the only slot: new requests are shed.
+	if code := do(); code != http.StatusServiceUnavailable {
+		t.Fatalf("while abandoned work runs: status %d, want 503", code)
+	}
+	close(release)
+	// Once the work finishes, its deferred free returns the slot; poll
+	// until it is observable again (released exactly once).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case s.sem <- struct{}{}:
+			<-s.sem
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight slot never released after the abandoned work finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight proves Shutdown waits for an in-flight
+// request and the request still succeeds.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	s := New(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// A non-quick workload generation (PE-calibration bisection replays)
+	// keeps this request in flight long enough to observe the drain.
+	slow := TraceSpec{App: "CG-64", Iterations: 20}
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		b, _ := json.Marshal(ReplayRequest{Trace: slow})
+		resp, err := http.Post(base+"/v1/replay", "application/json", bytes.NewReader(b))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{code: resp.StatusCode, body: body, err: err}
+	}()
+
+	// Wait until the request is actually in flight (or already finished).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.reg.mu.Lock()
+		inFlight := s.reg.inFlight
+		finished := s.reg.routes["/v1/replay"] != nil
+		s.reg.mu.Unlock()
+		if inFlight > 0 || finished {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", r.code, r.body)
+	}
+	var resp ReplayResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil || resp.Ranks != 64 {
+		t.Fatalf("in-flight response truncated by shutdown: %s", r.body)
+	}
+}

@@ -1,0 +1,387 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/gearopt"
+	"repro/internal/timemodel"
+	"repro/internal/workload"
+)
+
+// Request-body limits; requests outside these ranges are rejected with 400
+// rather than tying up a worker slot on a pathological simulation.
+const (
+	// MaxIterations bounds generated-workload length per request.
+	MaxIterations = 500
+	// MaxNProcs bounds interpolated-instance size per request.
+	MaxNProcs = 2048
+	// MaxCells bounds nprocs × iterations of one generated workload, so a
+	// single request cannot demand an arbitrarily large trace.
+	MaxCells = 200_000
+	// MaxGears bounds the searched/constructed gear-set size.
+	MaxGears = 64
+	// MaxGearOptTraces bounds the workload list of one gear-set search.
+	MaxGearOptTraces = 16
+)
+
+// TraceSpec selects the trace a request operates on: either an inline trace
+// in the text format, or a synthetic Table 3 workload generated (and
+// memoized) server-side. Generated workloads share one trace instance per
+// (app, nprocs, iterations, quick) tuple, which is what lets the shared
+// replay cache turn repeated what-if queries on the same application into
+// cache hits.
+type TraceSpec struct {
+	// Text is an inline trace in the native text format. Mutually exclusive
+	// with App.
+	Text string `json:"text,omitempty"`
+	// App is a Table 3 instance name (e.g. "IS-64"), or an application name
+	// (e.g. "CG") when NProcs is set.
+	App string `json:"app,omitempty"`
+	// NProcs selects an interpolated instance for App (e.g. CG at 256).
+	NProcs int `json:"nprocs,omitempty"`
+	// Iterations is the generated trace length (default 20, max 500).
+	Iterations int `json:"iterations,omitempty"`
+	// Quick skips parallel-efficiency calibration during generation.
+	Quick bool `json:"quick,omitempty"`
+}
+
+func (s *TraceSpec) validate() error {
+	if (s.Text == "") == (s.App == "") {
+		return fmt.Errorf("trace: exactly one of text or app is required")
+	}
+	if s.Text != "" && (s.NProcs != 0 || s.Iterations != 0 || s.Quick) {
+		return fmt.Errorf("trace: nprocs/iterations/quick apply only to generated workloads")
+	}
+	if s.Iterations < 0 || s.Iterations > MaxIterations {
+		return fmt.Errorf("trace: iterations must be in [1, %d], got %d", MaxIterations, s.Iterations)
+	}
+	if s.NProcs < 0 || s.NProcs > MaxNProcs {
+		return fmt.Errorf("trace: nprocs must be in [2, %d], got %d", MaxNProcs, s.NProcs)
+	}
+	if s.NProcs > 0 {
+		iters := s.Iterations
+		if iters == 0 {
+			iters = workload.DefaultConfig().Iterations
+		}
+		if s.NProcs*iters > MaxCells {
+			return fmt.Errorf("trace: nprocs × iterations = %d exceeds the per-request limit %d", s.NProcs*iters, MaxCells)
+		}
+	}
+	return nil
+}
+
+// instance resolves the workload instance of a generated-trace spec.
+func (s *TraceSpec) instance() (workload.Instance, error) {
+	if s.NProcs > 0 {
+		return workload.InstanceFor(s.App, s.NProcs)
+	}
+	return workload.FindInstance(s.App)
+}
+
+// GearSetSpec describes a DVFS gear set in a request body.
+type GearSetSpec struct {
+	// Kind is one of "uniform", "exponential", "continuous-limited",
+	// "continuous-unlimited" or "custom".
+	Kind string `json:"kind"`
+	// N is the gear count for uniform/exponential kinds (default 6).
+	N int `json:"n,omitempty"`
+	// Freqs lists the gear frequencies (GHz) of a custom set.
+	Freqs []float64 `json:"freqs,omitempty"`
+	// Overclock appends the paper's extra (2.6 GHz, 1.6 V) gear, as used by
+	// the AVG studies.
+	Overclock bool `json:"overclock,omitempty"`
+}
+
+// set builds the dvfs.Set the spec describes.
+func (g *GearSetSpec) set() (*dvfs.Set, error) {
+	n := g.N
+	if n == 0 {
+		n = 6
+	}
+	if n < 2 || n > MaxGears {
+		return nil, fmt.Errorf("gear_set: n must be in [2, %d], got %d", MaxGears, g.N)
+	}
+	var (
+		set *dvfs.Set
+		err error
+	)
+	switch strings.ToLower(g.Kind) {
+	case "uniform", "":
+		set, err = dvfs.Uniform(n)
+	case "exponential":
+		set, err = dvfs.Exponential(n)
+	case "continuous-limited":
+		set = dvfs.ContinuousLimited()
+	case "continuous-unlimited":
+		set = dvfs.ContinuousUnlimited()
+	case "custom":
+		if len(g.Freqs) < 2 || len(g.Freqs) > MaxGears {
+			return nil, fmt.Errorf("gear_set: custom set needs 2..%d freqs, got %d", MaxGears, len(g.Freqs))
+		}
+		gears := make([]dvfs.Gear, len(g.Freqs))
+		for i, f := range g.Freqs {
+			if f <= 0 {
+				return nil, fmt.Errorf("gear_set: non-positive frequency %v", f)
+			}
+			gears[i] = dvfs.GearAt(f)
+		}
+		set, err = dvfs.FromGears("custom", gears)
+	default:
+		return nil, fmt.Errorf("gear_set: unknown kind %q", g.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gear_set: %w", err)
+	}
+	if g.Overclock {
+		set, err = set.WithOverclockGear(dvfs.Gear{Freq: dvfs.OverclockFreq, Volt: dvfs.OverclockVolt})
+		if err != nil {
+			return nil, fmt.Errorf("gear_set: %w", err)
+		}
+	}
+	return set, nil
+}
+
+// parseAlgorithm maps the wire name onto the balancing policy.
+func parseAlgorithm(s string) (core.Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "MAX", "":
+		return core.MAX, nil
+	case "AVG":
+		return core.AVG, nil
+	default:
+		return 0, fmt.Errorf("algorithm: unknown %q (want MAX or AVG)", s)
+	}
+}
+
+// ReplayRequest is the body of POST /v1/replay.
+type ReplayRequest struct {
+	Trace TraceSpec `json:"trace"`
+	// Freqs is the per-rank frequency (GHz); empty means every rank at FMax
+	// (the memoized baseline replay).
+	Freqs []float64 `json:"freqs,omitempty"`
+	// Beta is the memory-boundedness parameter (default 0.5).
+	Beta float64 `json:"beta,omitempty"`
+	// FMax is the nominal top frequency (default 2.3 GHz).
+	FMax float64 `json:"fmax,omitempty"`
+}
+
+// ReplayResponse is the body of a successful POST /v1/replay.
+type ReplayResponse struct {
+	App     string    `json:"app"`
+	Ranks   int       `json:"ranks"`
+	Time    float64   `json:"time"`
+	Compute []float64 `json:"compute"`
+	Finish  []float64 `json:"finish"`
+}
+
+// NewReplayResponse builds the wire form of a replay result. It is exported
+// so tests can prove server responses byte-identical to direct library
+// calls.
+func NewReplayResponse(app string, res *dimemas.Result) *ReplayResponse {
+	return &ReplayResponse{
+		App:     app,
+		Ranks:   len(res.Compute),
+		Time:    res.Time,
+		Compute: res.Compute,
+		Finish:  res.Finish,
+	}
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	Trace TraceSpec `json:"trace"`
+	// Algorithm selects the balancing policy: "MAX" (default) or "AVG".
+	Algorithm string      `json:"algorithm,omitempty"`
+	GearSet   GearSetSpec `json:"gear_set"`
+	Beta      float64     `json:"beta,omitempty"`
+	FMax      float64     `json:"fmax,omitempty"`
+}
+
+// RunStatsBody is one simulated execution's cost on the wire.
+type RunStatsBody struct {
+	Time           float64 `json:"time"`
+	Energy         float64 `json:"energy"`
+	DynamicCompute float64 `json:"dynamic_compute"`
+	DynamicComm    float64 `json:"dynamic_comm"`
+	Static         float64 `json:"static"`
+}
+
+// NormBody holds energy/time/EDP normalized to the original run.
+type NormBody struct {
+	Energy float64 `json:"energy"`
+	Time   float64 `json:"time"`
+	EDP    float64 `json:"edp"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	App         string       `json:"app"`
+	Algorithm   string       `json:"algorithm"`
+	GearSet     string       `json:"gear_set"`
+	Freqs       []float64    `json:"freqs"`
+	Target      float64      `json:"target"`
+	Overclocked int          `json:"overclocked"`
+	Orig        RunStatsBody `json:"orig"`
+	New         RunStatsBody `json:"new"`
+	Norm        NormBody     `json:"norm"`
+	LB          float64      `json:"lb"`
+	PE          float64      `json:"pe"`
+}
+
+// NewAnalyzeResponse builds the wire form of an analysis result.
+func NewAnalyzeResponse(setName string, res *analysis.Result) *AnalyzeResponse {
+	stats := func(r analysis.RunStats) RunStatsBody {
+		return RunStatsBody{
+			Time:           r.Time,
+			Energy:         r.Energy,
+			DynamicCompute: r.Breakdown.DynamicCompute,
+			DynamicComm:    r.Breakdown.DynamicComm,
+			Static:         r.Breakdown.Static,
+		}
+	}
+	return &AnalyzeResponse{
+		App:         res.App,
+		Algorithm:   res.Assignment.Algorithm.String(),
+		GearSet:     setName,
+		Freqs:       res.Assignment.Freqs(),
+		Target:      res.Assignment.Target,
+		Overclocked: res.Assignment.Overclocked,
+		Orig:        stats(res.Orig),
+		New:         stats(res.New),
+		Norm:        NormBody{Energy: res.Norm.Energy, Time: res.Norm.Time, EDP: res.Norm.EDP},
+		LB:          res.LB,
+		PE:          res.PE,
+	}
+}
+
+// GearOptRequest is the body of POST /v1/gearopt.
+type GearOptRequest struct {
+	// Traces lists the applications the gear placement is optimized for.
+	Traces []TraceSpec `json:"traces"`
+	// NGears is the searched set size (default 6).
+	NGears int `json:"ngears,omitempty"`
+	// Grid is the search lattice step in GHz (default 0.05).
+	Grid float64 `json:"grid,omitempty"`
+	// MaxRounds bounds the coordinate-descent rounds (default 8).
+	MaxRounds int     `json:"max_rounds,omitempty"`
+	Beta      float64 `json:"beta,omitempty"`
+	FMax      float64 `json:"fmax,omitempty"`
+}
+
+// GearOptResponse is the body of a successful POST /v1/gearopt.
+type GearOptResponse struct {
+	GearSet       string    `json:"gear_set"`
+	Freqs         []float64 `json:"freqs"`
+	SearchEnergy  float64   `json:"search_energy"`
+	Energy        float64   `json:"energy"`
+	UniformEnergy float64   `json:"uniform_energy"`
+	Rounds        int       `json:"rounds"`
+	Evaluations   int       `json:"evaluations"`
+}
+
+// NewGearOptResponse builds the wire form of a gear-search result.
+func NewGearOptResponse(res *gearopt.Result) *GearOptResponse {
+	freqs := make([]float64, 0, res.Set.Size())
+	for _, g := range res.Set.Gears() {
+		freqs = append(freqs, g.Freq)
+	}
+	return &GearOptResponse{
+		GearSet:       res.Set.Name(),
+		Freqs:         freqs,
+		SearchEnergy:  res.SearchEnergy,
+		Energy:        res.Energy,
+		UniformEnergy: res.UniformEnergy,
+		Rounds:        res.Rounds,
+		Evaluations:   res.Evaluations,
+	}
+}
+
+// AppBody is one Table 3 instance in GET /v1/apps.
+type AppBody struct {
+	Name   string  `json:"name"`
+	App    string  `json:"app"`
+	NProcs int     `json:"nprocs"`
+	LB     float64 `json:"lb"`
+	PE     float64 `json:"pe"`
+}
+
+// AppsResponse is the body of GET /v1/apps.
+type AppsResponse struct {
+	Apps []AppBody `json:"apps"`
+}
+
+// NewAppsResponse lists the Table 3 instances.
+func NewAppsResponse() *AppsResponse {
+	insts := workload.Table3()
+	out := &AppsResponse{Apps: make([]AppBody, len(insts))}
+	for i, inst := range insts {
+		out.Apps[i] = AppBody{
+			Name:   inst.Name,
+			App:    inst.App,
+			NProcs: inst.NProcs,
+			LB:     inst.TargetLB,
+			PE:     inst.TargetPE,
+		}
+	}
+	return out
+}
+
+// TracegenRequest is the body of POST /v1/tracegen: a generated-workload
+// TraceSpec (inline text input is rejected — there is nothing to generate).
+type TracegenRequest struct {
+	Trace TraceSpec `json:"trace"`
+}
+
+// TracegenResponse is the body of a successful POST /v1/tracegen.
+type TracegenResponse struct {
+	Name    string `json:"name"`
+	Ranks   int    `json:"ranks"`
+	Records int    `json:"records"`
+	// Trace is the generated trace in the native text format.
+	Trace string `json:"trace"`
+}
+
+// ErrorBody is the JSON error envelope of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// errInlineTracegen rejects tracegen requests that carry an inline trace.
+var errInlineTracegen = errors.New("tracegen: inline text traces have nothing to generate; pass app (+ nprocs)")
+
+func errFreqCount(got, want int) error {
+	return fmt.Errorf("freqs: got %d frequencies for a %d-rank trace", got, want)
+}
+
+func errTraceCount(got int) error {
+	return fmt.Errorf("traces: need 1..%d workloads, got %d", MaxGearOptTraces, got)
+}
+
+func errGearCount(got int) error {
+	return fmt.Errorf("ngears: at most %d gears, got %d", MaxGears, got)
+}
+
+// normalizeOptions applies the same zero-value defaults the analysis
+// pipeline uses, so a bare replay request and an analyze request replay the
+// identical baseline (and therefore share a cache entry).
+func normalizeOptions(o dimemas.Options) (dimemas.Options, error) {
+	if o.Beta < 0 {
+		return o, fmt.Errorf("beta: must be non-negative, got %v", o.Beta)
+	}
+	if o.FMax < 0 {
+		return o, fmt.Errorf("fmax: must be non-negative, got %v", o.FMax)
+	}
+	if o.Beta == 0 {
+		o.Beta = timemodel.DefaultBeta
+	}
+	if o.FMax == 0 {
+		o.FMax = dvfs.FMax
+	}
+	return o, nil
+}
