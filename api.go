@@ -76,11 +76,43 @@ const (
 // rescaled execution, and account CPU energy.
 func Analyze(cfg AnalysisConfig) (*AnalysisResult, error) { return analysis.Run(cfg) }
 
-// ReplayCache memoizes baseline (all-ranks-at-FMax) replays keyed by
-// (trace, β, FMax, platform). Set AnalysisConfig.Cache — or the Cache field
-// of the jitter/phased/gear-search configs — to share the original
-// execution across many what-if runs of the same trace instead of
-// re-simulating it each time. Safe for concurrent use.
+// Replay engine — the simulator underneath every experiment, exposed for
+// users who want raw executions (and for the benchmarks that track it).
+
+// SimOptions configures one replay: β, nominal FMax, optional per-rank
+// frequencies, timeline recording and a cancellation context.
+type SimOptions = dimemas.Options
+
+// SimResult reports one simulated execution (total time, per-rank
+// compute/finish, optional timeline).
+type SimResult = dimemas.Result
+
+// Simulate replays a trace on a platform. It is deterministic: the same
+// inputs always produce the same result, bit for bit.
+func Simulate(t *Trace, p Platform, opts SimOptions) (*SimResult, error) {
+	return dimemas.Simulate(t, p, opts)
+}
+
+// TimingSkeleton is the frequency-independent timing skeleton of one
+// (trace, platform, β, FMax) combination: the replayed communication
+// structure recorded once, so that any per-rank gear assignment can be
+// re-timed with a single O(events) forward pass. Retime results are
+// bit-identical to Simulate at a fraction of the cost — it is what powers
+// sweeps, gear searches and the batched serving endpoint.
+type TimingSkeleton = dimemas.Skeleton
+
+// BuildTimingSkeleton records the timing skeleton of one trace/platform
+// combination. Prefer ReplayCache.SkeletonFor when evaluating many traces —
+// it memoizes skeletons alongside baseline replays.
+func BuildTimingSkeleton(t *Trace, p Platform, opts SimOptions) (*TimingSkeleton, error) {
+	return dimemas.BuildSkeleton(t, p, opts)
+}
+
+// ReplayCache memoizes baseline (all-ranks-at-FMax) replays and timing
+// skeletons keyed by (trace, β, FMax, platform). Set AnalysisConfig.Cache —
+// or the Cache field of the jitter/phased/gear-search configs — to share
+// the original execution across many what-if runs of the same trace and to
+// turn every DVFS replay into a skeleton retiming. Safe for concurrent use.
 type ReplayCache = dimemas.ReplayCache
 
 // CacheStats snapshots a ReplayCache's hit/miss/eviction counters.

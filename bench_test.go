@@ -98,7 +98,68 @@ func BenchmarkFigure2GearSetSizes(b *testing.B) {
 // Micro-benchmarks of the load-bearing building blocks, so performance
 // regressions in the simulator or the algorithms are visible in isolation.
 
+// wrfReplayInputs builds the WRF-128 trace plus a realistic MAX gear
+// vector, the single-evaluation workload the replay benchmarks share.
+func wrfReplayInputs(b *testing.B) (*Trace, Platform, SimOptions, []float64) {
+	b.Helper()
+	tr, err := benchSuite.Trace("WRF-128")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchSuite.Platform()
+	opts := SimOptions{Beta: benchSuite.Beta, FMax: benchSuite.Gen.FMax}
+	base, err := Simulate(tr, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bal, err := NewBalancer(ContinuousLimited(), benchSuite.Beta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := bal.Assign(MAX, base.Compute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, p, opts, a.Freqs()
+}
+
+// BenchmarkSimulateWRF128 measures one full event-driven replay of WRF-128
+// under a MAX gear assignment — the cost every what-if evaluation paid
+// before skeleton retiming.
 func BenchmarkSimulateWRF128(b *testing.B) {
+	tr, p, opts, freqs := wrfReplayInputs(b)
+	opts.Freqs = freqs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetimeWRF128 measures the same evaluation as
+// BenchmarkSimulateWRF128 off the recorded timing skeleton: bit-identical
+// results from a single allocation-free forward pass.
+func BenchmarkRetimeWRF128(b *testing.B) {
+	tr, p, opts, freqs := wrfReplayInputs(b)
+	sk, err := BuildTimingSkeleton(tr, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res SimResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.RetimeInto(&res, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeWRF128 measures the full uncached pipeline (baseline
+// replay + assignment + DVFS replay + energy accounting) on WRF-128.
+func BenchmarkAnalyzeWRF128(b *testing.B) {
 	tr, err := benchSuite.Trace("WRF-128")
 	if err != nil {
 		b.Fatal(err)

@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -46,11 +47,18 @@ type Config struct {
 	// RecordTimelines) combination. Run trusts it without re-checking; use
 	// Cache instead when the match cannot be guaranteed by construction.
 	Baseline *dimemas.Result
-	// Cache optionally memoizes original executions across runs: sweeps
-	// that evaluate many variants of the same trace replay the baseline
-	// once instead of once per variant. The cached Result is shared and
-	// must be treated as read-only (Run itself never mutates it).
+	// Cache optionally memoizes original executions and timing skeletons
+	// across runs: sweeps that evaluate many variants of the same trace
+	// replay the baseline once instead of once per variant, and the DVFS
+	// replay becomes a skeleton retiming (bit-identical to a fresh
+	// simulation, an order of magnitude cheaper). The cached values are
+	// shared and must be treated as read-only (Run itself never mutates
+	// them).
 	Cache *dimemas.ReplayCache
+	// Ctx optionally bounds the run: the replay and retiming stages poll
+	// it and abort with its error once it is done, so serving layers can
+	// stop paying for requests that already timed out.
+	Ctx context.Context
 }
 
 // RunStats describes one simulated execution's cost.
@@ -117,6 +125,13 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	// Warm-cache runs touch no cancellation point inside the replays; bail
+	// out here so loops of Runs (batch serving, searches) stay responsive.
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	pm, err := power.New(cfg.Power)
 	if err != nil {
 		return nil, err
@@ -125,7 +140,7 @@ func Run(cfg Config) (*Result, error) {
 	// Original execution: every rank at the nominal top frequency. A
 	// precomputed baseline short-circuits the replay; otherwise the cache
 	// (nil-safe: a nil cache simulates directly) memoizes it across runs.
-	simOpts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, RecordTimeline: cfg.RecordTimelines}
+	simOpts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, RecordTimeline: cfg.RecordTimelines, Ctx: cfg.Ctx}
 	orig := cfg.Baseline
 	if orig == nil {
 		var err error
@@ -150,10 +165,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Replay with per-rank frequencies.
+	// Replay with per-rank frequencies. With a cache this is a retiming of
+	// the memoized timing skeleton — bit-identical to a fresh simulation;
+	// without one it degrades to a plain Simulate call.
 	newOpts := simOpts
 	newOpts.Freqs = assignment.Freqs()
-	next, err := dimemas.Simulate(cfg.Trace, cfg.Platform, newOpts)
+	next, err := cfg.Cache.Replay(cfg.Trace, cfg.Platform, newOpts)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: DVFS replay: %w", err)
 	}

@@ -2,15 +2,17 @@ package dimemas
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/trace"
 )
 
-// replayKey identifies one baseline (all-ranks-at-FMax) replay: the trace
-// (by identity — traces are immutable once simulated), an optional slice
-// discriminator for per-iteration replays, and every simulation input the
-// result depends on.
+// replayKey identifies one memoized artifact: a baseline (all-ranks-at-FMax)
+// replay or a timing skeleton. It carries the trace (by identity — traces
+// are immutable once simulated), an optional slice discriminator for
+// per-iteration replays, and every simulation input the artifact depends on.
 type replayKey struct {
 	tr       *trace.Trace
 	slice    int // -1 for the whole trace; iteration index for slices
@@ -18,11 +20,15 @@ type replayKey struct {
 	fmax     float64
 	platform Platform
 	timeline bool
+	skeleton bool // true for timing-skeleton entries (timeline is false)
 }
 
+// replayEntry single-flights one memoized computation: a baseline Result or
+// a timing Skeleton, depending on the key.
 type replayEntry struct {
 	once sync.Once
 	res  *Result
+	skel *Skeleton
 	err  error
 }
 
@@ -35,32 +41,37 @@ type lruItem struct {
 
 // CacheStats is a point-in-time snapshot of a ReplayCache's counters.
 type CacheStats struct {
-	// Hits counts lookups that found a memoized (or in-flight) replay.
+	// Hits counts lookups that found a memoized (or in-flight) entry.
 	Hits int64
-	// Misses counts lookups that had to start a fresh replay.
+	// Misses counts lookups that had to start a fresh computation.
 	Misses int64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64
-	// Entries is the current number of memoized replays.
+	// Entries is the current number of memoized entries (replays plus
+	// skeletons).
 	Entries int
 }
 
-// ReplayCache memoizes baseline replays — simulations with Options.Freqs ==
-// nil, i.e. every rank at FMax — keyed by (trace, β, FMax, platform). Every
-// analysis pipeline starts from exactly this replay, and sweeps re-run it
-// once per variant on the same trace; the cache computes it once and shares
-// the Result.
+// ReplayCache memoizes the two per-trace artifacts every analysis pipeline
+// re-derives — the baseline replay (Options.Freqs == nil, every rank at
+// FMax) and the frequency-independent timing skeleton — keyed by (trace, β,
+// FMax, platform). Sweeps, gear searches and server requests that evaluate
+// many gear assignments over the same trace pay for each artifact once and
+// retime everything else.
 //
-// Cached Results are shared: callers must treat Compute, Finish and
-// Timeline as read-only. Keying is by trace identity, so traces must not be
-// mutated after their first cached replay. Safe for concurrent use;
-// concurrent misses on the same key are single-flighted.
+// Cached Results and Skeletons are shared: callers must treat them as
+// read-only. Keying is by trace identity, so traces must not be mutated
+// after their first cached use. Safe for concurrent use; concurrent misses
+// on the same key are single-flighted. A computation that aborts because
+// its caller's Options.Ctx expired is not memoized: the entry is dropped so
+// the next lookup recomputes instead of replaying a dead request's
+// cancellation forever.
 //
 // A cache built with NewReplayCacheWithLimit evicts the least recently used
-// replay once it holds more than the configured number of entries, so
-// long-running processes (e.g. the pwrsimd daemon) hold a bounded working
-// set. An evicted in-flight replay still completes for the callers already
-// waiting on it; later lookups simply recompute it.
+// entry once it holds more than the configured number, so long-running
+// processes (e.g. the pwrsimd daemon) hold a bounded working set. An
+// evicted in-flight entry still completes for the callers already waiting
+// on it; later lookups simply recompute it.
 type ReplayCache struct {
 	mu        sync.Mutex
 	max       int // 0 means unbounded
@@ -75,7 +86,7 @@ type ReplayCache struct {
 func NewReplayCache() *ReplayCache { return NewReplayCacheWithLimit(0) }
 
 // NewReplayCacheWithLimit returns an empty cache bounded to at most
-// maxEntries memoized replays (LRU eviction). maxEntries ≤ 0 means
+// maxEntries memoized entries (LRU eviction). maxEntries ≤ 0 means
 // unbounded.
 func NewReplayCacheWithLimit(maxEntries int) *ReplayCache {
 	if maxEntries < 0 {
@@ -105,6 +116,47 @@ func (c *ReplayCache) OriginalSlice(parent *trace.Trace, iteration int, sub *tra
 	return c.original(parent, iteration, sub, p, opts)
 }
 
+// SkeletonFor returns the memoized timing skeleton of t under opts
+// (Options.Freqs and RecordTimeline are irrelevant to the key — the
+// skeleton covers every gear assignment and timeline mode). A nil receiver
+// builds an uncached skeleton.
+func (c *ReplayCache) SkeletonFor(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
+	if c == nil {
+		return BuildSkeleton(t, p, opts)
+	}
+	k := replayKey{
+		tr:       t,
+		slice:    -1,
+		beta:     opts.Beta,
+		fmax:     opts.FMax,
+		platform: p,
+		skeleton: true,
+	}
+	e, err := c.flight(k, opts, func(e *replayEntry) { e.skel, e.err = BuildSkeleton(t, p, opts) })
+	if err != nil {
+		return nil, err
+	}
+	return e.skel, e.err
+}
+
+// Replay returns the replay of t under opts: the memoized baseline when
+// opts.Freqs is nil, and a skeleton retiming — bit-identical to Simulate
+// but an order of magnitude cheaper — when per-rank frequencies are given.
+// A nil receiver degrades to a plain Simulate call.
+func (c *ReplayCache) Replay(t *trace.Trace, p Platform, opts Options) (*Result, error) {
+	if opts.Freqs == nil {
+		return c.Original(t, p, opts)
+	}
+	if c == nil {
+		return Simulate(t, p, opts)
+	}
+	sk, err := c.SkeletonFor(t, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sk.Retime(opts.Freqs, opts.RecordTimeline)
+}
+
 func (c *ReplayCache) original(keyTrace *trace.Trace, slice int, sim *trace.Trace, p Platform, opts Options) (*Result, error) {
 	if c == nil || opts.Freqs != nil {
 		return Simulate(sim, p, opts)
@@ -117,29 +169,92 @@ func (c *ReplayCache) original(keyTrace *trace.Trace, slice int, sim *trace.Trac
 		platform: p,
 		timeline: opts.RecordTimeline,
 	}
-	c.mu.Lock()
-	var e *replayEntry
-	if el, ok := c.m[k]; ok {
-		c.hits++
-		c.lru.MoveToFront(el)
-		e = el.Value.(*lruItem).entry
-	} else {
-		c.misses++
-		e = &replayEntry{}
-		c.m[k] = c.lru.PushFront(&lruItem{key: k, entry: e})
-		if c.max > 0 && c.lru.Len() > c.max {
-			back := c.lru.Back()
-			c.lru.Remove(back)
-			delete(c.m, back.Value.(*lruItem).key)
-			c.evictions++
-		}
+	e, err := c.flight(k, opts, func(e *replayEntry) { e.res, e.err = Simulate(sim, p, opts) })
+	if err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = Simulate(sim, p, opts) })
 	return e.res, e.err
 }
 
-// Len reports the number of memoized replays (for tests and diagnostics).
+// flight single-flights compute under k. A computation aborted by its
+// caller's context is not memoized: the poisoned entry is evicted and a
+// waiter whose own context is live retries, falling back to an uncached
+// computation (a fresh, unshared entry) after repeated peer cancellations.
+// The returned error is only ever the waiter's own context error.
+func (c *ReplayCache) flight(k replayKey, opts Options, compute func(*replayEntry)) (*replayEntry, error) {
+	for attempt := 0; ; attempt++ {
+		e := c.entryFor(k)
+		e.once.Do(func() { compute(e) })
+		retry, direct, ctxErr := c.retryAfterCtxError(k, e, opts, attempt)
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
+		if direct {
+			e := &replayEntry{}
+			compute(e)
+			return e, nil
+		}
+		if retry {
+			continue
+		}
+		return e, nil
+	}
+}
+
+// entryFor returns the single-flight entry for k, inserting (and possibly
+// LRU-evicting) under the lock.
+func (c *ReplayCache) entryFor(k replayKey) *replayEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*lruItem).entry
+	}
+	c.misses++
+	e := &replayEntry{}
+	c.m[k] = c.lru.PushFront(&lruItem{key: k, entry: e})
+	if c.max > 0 && c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*lruItem).key)
+		c.evictions++
+	}
+	return e
+}
+
+// retryAfterCtxError handles the one error class that must not be
+// memoized: a computation aborted by the computing caller's context. The
+// poisoned entry is dropped; a waiter whose own context died meanwhile
+// gets its own context's error (not the computing peer's), and a waiter
+// whose context is still live retries (bounded), falling back to an
+// uncached computation rather than looping on repeatedly cancelled peers.
+func (c *ReplayCache) retryAfterCtxError(k replayKey, e *replayEntry, opts Options, attempt int) (retry, direct bool, ctxErr error) {
+	if e.err == nil || !isCtxErr(e.err) {
+		return false, false, nil
+	}
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok && el.Value.(*lruItem).entry == e {
+		c.lru.Remove(el)
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
+	if opts.Ctx != nil {
+		if own := opts.Ctx.Err(); own != nil {
+			return false, false, own
+		}
+	}
+	if attempt >= 2 {
+		return false, true, nil
+	}
+	return true, false, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Len reports the number of memoized entries (for tests and diagnostics).
 func (c *ReplayCache) Len() int {
 	if c == nil {
 		return 0

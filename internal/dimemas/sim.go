@@ -1,6 +1,7 @@
 package dimemas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -40,12 +41,33 @@ type Options struct {
 	Freqs []float64
 	// RecordTimeline enables per-rank segment collection (Figure 1).
 	RecordTimeline bool
+	// Ctx optionally bounds the replay: Simulate (and skeleton
+	// construction) polls it periodically and aborts with its error once it
+	// is done, so servers can stop paying for work whose request already
+	// timed out. Nil means the replay always runs to completion. The
+	// context never influences the simulated result — only whether the
+	// replay finishes.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper's baseline: β = 0.5, fmax = 2.3 GHz,
 // every rank at top frequency.
 func DefaultOptions() Options {
 	return Options{Beta: timemodel.DefaultBeta, FMax: 2.3}
+}
+
+// validateModel checks the model parameters shared by Simulate and
+// BuildSkeleton. NaN is rejected explicitly: it slips through the range
+// comparisons and would breed NaN clocks, on which the retimer's branch
+// max and math.Max disagree.
+func (o *Options) validateModel() error {
+	if o.FMax <= 0 || math.IsNaN(o.FMax) {
+		return fmt.Errorf("dimemas: FMax must be positive, got %v", o.FMax)
+	}
+	if o.Beta < 0 || o.Beta > 1 || math.IsNaN(o.Beta) {
+		return fmt.Errorf("dimemas: beta %v outside [0, 1]", o.Beta)
+	}
+	return nil
 }
 
 // Result reports one simulated execution.
@@ -197,7 +219,15 @@ type simContext struct {
 	queue  []int32 // ready queue: appended on wake, drained by a head cursor
 	queued []bool  // queue membership per rank
 	freqs  []float64
+	// Cooperative cancellation: step polls Options.Ctx every cancelStride
+	// retired records (a single step call can retire a rank's whole
+	// stream, so polling only between queue pops is not enough).
+	steps     int
+	cancelled bool
 }
+
+// cancelStride is how many retired records may pass between context polls.
+const cancelStride = 4096
 
 var ctxPool = sync.Pool{New: func() any { return new(simContext) }}
 
@@ -228,6 +258,8 @@ func (c *simContext) reset(idx *traceIndex) {
 	for i := range c.chans {
 		c.chans[i] = chanState{base: idx.chanBase[i], waiter: -1}
 	}
+	c.steps = 0
+	c.cancelled = false
 }
 
 // Simulate replays the trace on the platform. It is deterministic: the same
@@ -245,11 +277,8 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 		return nil, idx.err
 	}
 	n := idx.nranks
-	if opts.FMax <= 0 {
-		return nil, fmt.Errorf("dimemas: FMax must be positive, got %v", opts.FMax)
-	}
-	if opts.Beta < 0 || opts.Beta > 1 {
-		return nil, fmt.Errorf("dimemas: beta %v outside [0, 1]", opts.Beta)
+	if err := opts.validateModel(); err != nil {
+		return nil, err
 	}
 	if opts.Freqs != nil {
 		if len(opts.Freqs) != n {
@@ -282,14 +311,22 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 		c.queue = append(c.queue, int32(r))
 		c.queued[r] = true
 	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	for head := 0; head < len(c.queue); head++ {
 		r := c.queue[head]
 		c.queued[r] = false
 		c.step(int(r), t, idx, p, &opts, freqs)
+		if c.cancelled {
+			return nil, opts.Ctx.Err()
+		}
 	}
 	for r := 0; r < n; r++ {
 		if int(c.ranks[r].pc) < len(t.Ranks[r]) {
-			return nil, c.deadlockError(t)
+			return nil, deadlockError(t, func(r int) int { return int(c.ranks[r].pc) })
 		}
 	}
 
@@ -332,6 +369,12 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 	chanOf := idx.chanOf[r]
 	n := idx.nranks
 	for int(rs.pc) < len(recs) {
+		if opts.Ctx != nil {
+			if c.steps++; c.steps%cancelStride == 0 && opts.Ctx.Err() != nil {
+				c.cancelled = true
+				return
+			}
+		}
 		rec := &recs[rs.pc]
 		switch rs.blocked {
 		case blockedSend:
@@ -456,25 +499,38 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 }
 
 func (c *simContext) addSeg(rs *rankState, start, end float64, st State, opts *Options) {
-	if !opts.RecordTimeline || end <= start {
+	if !opts.RecordTimeline {
 		return
 	}
-	// Merge with the previous segment when contiguous and same state.
-	if n := len(rs.segs); n > 0 && rs.segs[n-1].State == st && rs.segs[n-1].End >= start-1e-15 {
-		rs.segs[n-1].End = end
-		return
-	}
-	rs.segs = append(rs.segs, Segment{Start: start, End: end, State: st})
+	rs.segs = appendSeg(rs.segs, start, end, st)
 }
 
-func (c *simContext) deadlockError(t *trace.Trace) error {
+// appendSeg appends one timeline interval, merging it with the previous
+// segment when contiguous and same state. Shared by the replay engine and
+// the skeleton retimer so recorded timelines stay bit-identical.
+func appendSeg(segs []Segment, start, end float64, st State) []Segment {
+	if end <= start {
+		return segs
+	}
+	if n := len(segs); n > 0 && segs[n-1].State == st && segs[n-1].End >= start-1e-15 {
+		segs[n-1].End = end
+		return segs
+	}
+	return append(segs, Segment{Start: start, End: end, State: st})
+}
+
+// deadlockError formats the blocked-ranks diagnostic from each rank's stuck
+// program counter. Shared by the replay engine and skeleton construction so
+// both surface the identical message for the same trace.
+func deadlockError(t *trace.Trace, pc func(rank int) int) error {
 	var sb strings.Builder
-	for r := range c.ranks {
-		if int(c.ranks[r].pc) >= len(t.Ranks[r]) {
+	for r := range t.Ranks {
+		at := pc(r)
+		if at >= len(t.Ranks[r]) {
 			continue
 		}
-		rec := t.Ranks[r][c.ranks[r].pc]
-		fmt.Fprintf(&sb, " rank %d at record %d (%v)", r, c.ranks[r].pc, rec.Kind)
+		rec := t.Ranks[r][at]
+		fmt.Fprintf(&sb, " rank %d at record %d (%v)", r, at, rec.Kind)
 	}
 	return fmt.Errorf("%w:%s", ErrDeadlock, sb.String())
 }

@@ -1,0 +1,488 @@
+package dimemas
+
+// Timing-skeleton retiming: the communication structure of a trace — which
+// send matches which receive, which protocol each message uses, which ranks
+// join which collective instance, and a valid retirement order for all of it
+// — is fixed by the trace and the platform; only event *times* depend on the
+// per-rank DVFS frequencies. Control flow in the replay engine never reads a
+// clock (blocking and wake-ups are decided purely by matching availability),
+// so one structure-only replay can record the whole schedule as a flat op
+// list. Retime then re-times any gear assignment with a single forward pass
+// over that list — no queues, no blocking states, no channel bookkeeping —
+// and produces a Result bit-identical to Simulate.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+)
+
+type skelKind uint8
+
+const (
+	// opCompute is a burst using the skeleton's default β; f1 is the
+	// duration at fmax.
+	opCompute skelKind = iota
+	// opComputeBeta is a burst with an explicit β override; f1 is the
+	// duration, arg indexes Skeleton.betas.
+	opComputeBeta
+	// opSendEager posts an eager send: the sender moves on immediately, so
+	// its ready time must be snapshotted now; arg is the message's arena
+	// slot.
+	opSendEager
+	// opRecvEager retires a receive of an eager message; arg is the arena
+	// slot, f1 the wire transfer time.
+	opRecvEager
+	// opRecvRend retires one whole rendezvous message. A rendezvous sender
+	// is frozen from the moment it posts until the pairing completes, so
+	// the receiver-side op can derive the sender's ready time from the
+	// sender's (unchanged) clock and write the completion back — post,
+	// pairing and sender resume fused into one op. src is the sender, f1
+	// the wire transfer time.
+	opRecvRend
+	// opColl retires one whole collective instance. At the final arrival
+	// every rank is parked on this instance (a collective synchronizes all
+	// ranks), so every clock IS its arrival time: one op reduces the max,
+	// adds the cost (f1) and releases everyone.
+	opColl
+)
+
+// skelOp is one schedule entry. The stream is a topological order of the
+// trace's dependency DAG, so a forward pass always finds its inputs (arena
+// slots, peer clocks) already written.
+type skelOp struct {
+	f1   float64 // duration, wire transfer time or collective cost
+	arg  int32   // arena slot or β index
+	rank int32
+	src  int32 // opRecvRend: sending rank
+	kind skelKind
+}
+
+// Skeleton is the frequency-independent timing skeleton of one (trace,
+// platform, β, fmax) combination. It is immutable after construction and
+// safe for concurrent Retime calls. Build it with BuildSkeleton or fetch a
+// memoized one from ReplayCache.SkeletonFor.
+type Skeleton struct {
+	nranks   int
+	nslots   int // point-to-point arena size (one slot per send)
+	ncolls   int // collective instances
+	beta     float64
+	fmax     float64
+	overhead float64
+	ops      []skelOp
+	betas    []float64 // β overrides referenced by opComputeBeta
+}
+
+// NumRanks returns the rank count of the skeleton's trace.
+func (s *Skeleton) NumRanks() int { return s.nranks }
+
+// NumOps returns the schedule length (for diagnostics and benchmarks).
+func (s *Skeleton) NumOps() int { return len(s.ops) }
+
+// skelBuilder is the structure-only scheduler state: the replay engine's
+// control plane (program counters, blocking states, channel and collective
+// progress) without any clocks.
+type skelBuilder struct {
+	pc       []int32
+	collIdx  []int32
+	blocked  []blockKind
+	sendSlot []int32 // pending rendezvous arena slot per rank
+	posted   []int32 // per channel
+	paired   []int32 // per channel
+	waiter   []int32 // per channel; -1 when none
+	arrived  []int32 // per collective instance
+	complete []bool  // per collective instance
+	done     []bool  // per send slot: rendezvous pairing completed
+	rend     []bool  // per send slot: uses the rendezvous protocol
+	queue    []int32
+	queued   []bool
+	// Cooperative cancellation, mirroring simContext: buildStep polls
+	// Options.Ctx every cancelStride retired records.
+	steps     int
+	cancelled bool
+}
+
+// BuildSkeleton replays the trace's communication structure once at zero
+// cost per event (no floating-point work) and records the retirement
+// schedule. opts supplies β and FMax — the two model parameters baked into
+// the schedule's constants — plus an optional Ctx; Freqs and RecordTimeline
+// are ignored because the skeleton is independent of both. A trace that
+// would deadlock under Simulate fails here with the identical diagnostic.
+func BuildSkeleton(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx := t.ReplayIndex(buildIndex).(*traceIndex)
+	if idx.err != nil {
+		return nil, idx.err
+	}
+	if err := opts.validateModel(); err != nil {
+		return nil, err
+	}
+	n := idx.nranks
+	s := &Skeleton{
+		nranks:   n,
+		nslots:   idx.totalSends,
+		ncolls:   idx.numColls,
+		beta:     opts.Beta,
+		fmax:     opts.FMax,
+		overhead: p.Overhead,
+		ops:      make([]skelOp, 0, t.NumRecords()),
+	}
+	nchans := len(idx.chanBase)
+	b := &skelBuilder{
+		pc:       make([]int32, n),
+		collIdx:  make([]int32, n),
+		blocked:  make([]blockKind, n),
+		sendSlot: make([]int32, n),
+		posted:   make([]int32, nchans),
+		paired:   make([]int32, nchans),
+		waiter:   make([]int32, nchans),
+		arrived:  make([]int32, idx.numColls),
+		complete: make([]bool, idx.numColls),
+		done:     make([]bool, idx.totalSends),
+		rend:     make([]bool, idx.totalSends),
+		queue:    make([]int32, 0, n),
+		queued:   make([]bool, n),
+	}
+	for c := range b.waiter {
+		b.waiter[c] = -1
+	}
+	for r := 0; r < n; r++ {
+		b.queue = append(b.queue, int32(r))
+		b.queued[r] = true
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for head := 0; head < len(b.queue); head++ {
+		r := b.queue[head]
+		b.queued[r] = false
+		s.buildStep(b, int(r), t, idx, p, &opts)
+		if b.cancelled {
+			return nil, opts.Ctx.Err()
+		}
+	}
+	for r := 0; r < n; r++ {
+		if int(b.pc[r]) < len(t.Ranks[r]) {
+			return nil, deadlockError(t, func(r int) int { return int(b.pc[r]) })
+		}
+	}
+	return s, nil
+}
+
+func (b *skelBuilder) wake(r int32) {
+	if !b.queued[r] {
+		b.queued[r] = true
+		b.queue = append(b.queue, r)
+	}
+}
+
+// buildStep retires as many records as possible for rank r, mirroring
+// simContext.step with the arithmetic stripped out and ops emitted at every
+// retirement point.
+func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIndex, p Platform, opts *Options) {
+	recs := t.Ranks[r]
+	chanOf := idx.chanOf[r]
+	n := idx.nranks
+	for int(b.pc[r]) < len(recs) {
+		if opts.Ctx != nil {
+			if b.steps++; b.steps%cancelStride == 0 && opts.Ctx.Err() != nil {
+				b.cancelled = true
+				return
+			}
+		}
+		rec := &recs[b.pc[r]]
+		switch b.blocked[r] {
+		case blockedSend:
+			// The fused opRecvRend already advanced this rank's clock; no
+			// op to emit, just unpark.
+			if !b.done[b.sendSlot[r]] {
+				return
+			}
+			b.blocked[r] = notBlocked
+			b.pc[r]++
+			continue
+		case blockedColl:
+			// The fused opColl already advanced this rank's clock.
+			if !b.complete[b.collIdx[r]] {
+				return
+			}
+			b.collIdx[r]++
+			b.blocked[r] = notBlocked
+			b.pc[r]++
+			continue
+		case blockedRecv:
+			// Re-attempt the pairing below.
+		}
+
+		switch rec.Kind {
+		case trace.KindCompute:
+			beta := rec.Beta
+			if beta < 0 {
+				beta = opts.Beta
+			}
+			if beta == s.beta {
+				s.ops = append(s.ops, skelOp{kind: opCompute, rank: int32(r), f1: rec.Duration})
+			} else {
+				s.ops = append(s.ops, skelOp{kind: opComputeBeta, rank: int32(r), f1: rec.Duration, arg: int32(len(s.betas))})
+				s.betas = append(s.betas, beta)
+			}
+			b.pc[r]++
+
+		case trace.KindSend:
+			cid := chanOf[b.pc[r]]
+			si := idx.chanBase[cid] + b.posted[cid]
+			b.posted[cid]++
+			rendezvous := rec.Bytes > p.EagerLimit
+			b.rend[si] = rendezvous
+			if w := b.waiter[cid]; w >= 0 {
+				b.wake(w)
+				b.waiter[cid] = -1
+			}
+			if rendezvous {
+				// No op: the sender is frozen until the pairing, so the
+				// fused opRecvRend recovers its post state from its clock.
+				b.blocked[r] = blockedSend
+				b.sendSlot[r] = si
+				return
+			}
+			s.ops = append(s.ops, skelOp{kind: opSendEager, rank: int32(r), arg: si})
+			b.pc[r]++
+
+		case trace.KindRecv:
+			cid := chanOf[b.pc[r]]
+			if b.paired[cid] >= b.posted[cid] {
+				b.blocked[r] = blockedRecv
+				b.waiter[cid] = int32(r)
+				return
+			}
+			si := idx.chanBase[cid] + b.paired[cid]
+			b.paired[cid]++
+			// Validate guarantees the k-th send and k-th receive of a
+			// channel carry the same byte count, so the receive record's
+			// size yields the identical wire time Simulate derives from
+			// the posted send.
+			wire := p.transfer(rec.Bytes)
+			if b.rend[si] {
+				s.ops = append(s.ops, skelOp{kind: opRecvRend, rank: int32(r), src: idx.chanSrc[cid], f1: wire})
+				b.done[si] = true
+				b.wake(idx.chanSrc[cid])
+			} else {
+				s.ops = append(s.ops, skelOp{kind: opRecvEager, rank: int32(r), arg: si, f1: wire})
+			}
+			b.blocked[r] = notBlocked
+			b.pc[r]++
+
+		case trace.KindColl:
+			ci := b.collIdx[r]
+			b.arrived[ci]++
+			if int(b.arrived[ci]) == n {
+				b.complete[ci] = true
+				// Validate guarantees every rank joins instance ci with
+				// the same operation and payload, so the cost taken from
+				// this rank's record matches whichever rank arrives last
+				// under any gear assignment.
+				cost := p.CollectiveCost(rec.Coll, rec.Bytes, n)
+				s.ops = append(s.ops, skelOp{kind: opColl, rank: int32(r), f1: cost})
+				b.collIdx[r]++
+				b.pc[r]++
+				for o := 0; o < n; o++ {
+					if b.blocked[o] == blockedColl && b.collIdx[o] == ci {
+						b.wake(int32(o))
+					}
+				}
+				continue
+			}
+			// No op: at the final arrival every rank is parked here, so
+			// the fused opColl reads all arrival clocks directly.
+			b.blocked[r] = blockedColl
+			return
+
+		case trace.KindIterMark:
+			b.pc[r]++
+
+		default:
+			// Unreachable after Validate; defensive (matches Simulate).
+			b.pc[r]++
+		}
+	}
+}
+
+// retimeContext holds the per-pass scratch arrays, recycled through a pool
+// so a steady-state retime allocates nothing beyond what escapes into the
+// Result.
+type retimeContext struct {
+	clock []float64 // per rank
+	comp  []float64 // per rank
+	sd    []float64 // per rank: default-β slowdown factor
+	freq  []float64 // per rank: resolved frequency
+	slot  []float64 // per send slot: eager ready time
+}
+
+var retimePool = sync.Pool{New: func() any { return new(retimeContext) }}
+
+// grow returns s with length n without zeroing, reusing the backing array
+// when possible. Callers must write every element before reading it.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// fmax2 is math.Max for the values a replay produces. trace.Validate
+// rejects the NaN/±Inf inputs that could breed NaN clocks, and no operand
+// can be -0 (clocks are sums whose zero terms normalize to +0), which are
+// the only inputs where a plain comparison differs from math.Max — so
+// fmax2 is bit-identical to Simulate's math.Max while compiling to a
+// branch instead of a function call, the retime loop's hottest operation.
+func fmax2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Retime replays the skeleton under a per-rank frequency vector and returns
+// a freshly allocated Result bit-identical to
+// Simulate(trace, platform, Options{Beta, FMax, Freqs: freqs, RecordTimeline:
+// recordTimeline}) for the trace/platform/β/FMax the skeleton was built
+// from. freqs may be nil (every rank at FMax). Safe for concurrent use.
+func (s *Skeleton) Retime(freqs []float64, recordTimeline bool) (*Result, error) {
+	res := &Result{}
+	if err := s.retime(res, freqs, recordTimeline); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RetimeInto is Retime writing into a caller-owned Result, reusing its
+// Compute/Finish backing arrays: the steady state allocates nothing, which
+// is what makes tight evaluation loops (gear searches, sweeps, batched
+// serving) allocation-free. Timelines are never recorded; res.Timeline is
+// reset to nil.
+func (s *Skeleton) RetimeInto(res *Result, freqs []float64) error {
+	return s.retime(res, freqs, false)
+}
+
+func (s *Skeleton) retime(res *Result, freqs []float64, recordTimeline bool) error {
+	n := s.nranks
+	if freqs != nil {
+		if len(freqs) != n {
+			return fmt.Errorf("dimemas: %d frequencies for %d ranks", len(freqs), n)
+		}
+		for r, f := range freqs {
+			if f <= 0 || math.IsNaN(f) {
+				return fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
+			}
+		}
+	}
+
+	c := retimePool.Get().(*retimeContext)
+	defer retimePool.Put(c)
+	c.clock = resetSlice(c.clock, n)
+	c.comp = resetSlice(c.comp, n)
+	c.slot = grow(c.slot, s.nslots) // written by eager posts before receives read
+	c.sd = grow(c.sd, n)
+	c.freq = grow(c.freq, n)
+	for r := 0; r < n; r++ {
+		f := s.fmax
+		if freqs != nil {
+			f = freqs[r]
+		}
+		c.freq[r] = f
+		// Slowdown is deterministic per argument triple, so evaluating it
+		// once per rank yields the same bits Simulate gets evaluating it
+		// once per record.
+		c.sd[r] = timemodel.Slowdown(s.beta, s.fmax, f)
+	}
+	var segs [][]Segment
+	if recordTimeline {
+		segs = make([][]Segment, n)
+	}
+
+	clock, comp, slot, sd := c.clock, c.comp, c.slot, c.sd
+	ov := s.overhead
+	for i := range s.ops {
+		op := &s.ops[i]
+		r := op.rank
+		switch op.kind {
+		case opCompute:
+			d := op.f1 * sd[r]
+			if recordTimeline {
+				segs[r] = appendSeg(segs[r], clock[r], clock[r]+d, StateCompute)
+			}
+			clock[r] += d
+			comp[r] += d
+		case opComputeBeta:
+			d := op.f1 * timemodel.Slowdown(s.betas[op.arg], s.fmax, c.freq[r])
+			if recordTimeline {
+				segs[r] = appendSeg(segs[r], clock[r], clock[r]+d, StateCompute)
+			}
+			clock[r] += d
+			comp[r] += d
+		case opSendEager:
+			end := clock[r] + ov
+			slot[op.arg] = end
+			if recordTimeline {
+				segs[r] = appendSeg(segs[r], clock[r], end, StateComm)
+			}
+			clock[r] = end
+		case opRecvEager:
+			start := clock[r]
+			end := fmax2(start+ov, slot[op.arg]+op.f1)
+			if recordTimeline {
+				segs[r] = appendSeg(segs[r], start, end, StateComm)
+			}
+			clock[r] = end
+		case opRecvRend:
+			// The sender has been frozen since its post: clock[src] is its
+			// block start, +overhead its ready time. One op times the post,
+			// the pairing and the sender's resume.
+			sendStart := clock[op.src]
+			start := clock[r]
+			end := fmax2(start+ov, sendStart+ov) + op.f1
+			if recordTimeline {
+				segs[r] = appendSeg(segs[r], start, end, StateComm)
+				segs[op.src] = appendSeg(segs[op.src], sendStart, end, StateComm)
+			}
+			clock[r] = end
+			clock[op.src] = end
+		case opColl:
+			// Every rank is parked on this instance, so every clock is an
+			// arrival time: reduce, add the modeled cost, release everyone.
+			m := clock[0]
+			for o := 1; o < n; o++ {
+				if clock[o] > m {
+					m = clock[o]
+				}
+			}
+			end := m + op.f1
+			if recordTimeline {
+				for o := 0; o < n; o++ {
+					segs[o] = appendSeg(segs[o], clock[o], end, StateComm)
+				}
+			}
+			for o := 0; o < n; o++ {
+				clock[o] = end
+			}
+		}
+	}
+
+	res.Compute = append(res.Compute[:0], comp...)
+	res.Finish = append(res.Finish[:0], clock...)
+	res.Timeline = segs
+	res.Time = 0
+	for r := 0; r < n; r++ {
+		if clock[r] > res.Time {
+			res.Time = clock[r]
+		}
+	}
+	return nil
+}

@@ -72,14 +72,16 @@ func TestCachedBaselineByteIdentical(t *testing.T) {
 			t.Errorf("%s: precomputed-baseline result differs from uncached", app)
 		}
 	}
-	// One baseline per (trace, β, FMax, platform): twelve apps, one key each.
-	if cache.Len() != len(AppNames()) {
-		t.Errorf("cache holds %d baselines, want %d", cache.Len(), len(AppNames()))
+	// One baseline plus one timing skeleton per (trace, β, FMax, platform):
+	// twelve apps, two keys each.
+	if cache.Len() != 2*len(AppNames()) {
+		t.Errorf("cache holds %d entries, want %d (baseline + skeleton per app)", cache.Len(), 2*len(AppNames()))
 	}
 }
 
 // TestSuiteSharesBaselinesAcrossVariants verifies the economic point of the
-// cache: a multi-variant sweep memoizes exactly one baseline per app.
+// cache: a multi-variant sweep memoizes exactly one baseline and one timing
+// skeleton per app, no matter how many variants retime it.
 func TestSuiteSharesBaselinesAcrossVariants(t *testing.T) {
 	s := QuickSuite()
 	s.cache = sharedSuite.cache // reuse generated traces
@@ -87,8 +89,8 @@ func TestSuiteSharesBaselinesAcrossVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := s.replays.Len(), len(sw.Apps); got != want {
-		t.Errorf("sweep memoized %d baselines for %d apps × %d variants, want %d",
+	if got, want := s.replays.Len(), 2*len(sw.Apps); got != want {
+		t.Errorf("sweep memoized %d entries for %d apps × %d variants, want %d (baseline + skeleton per app)",
 			got, len(sw.Apps), len(sw.Cols), want)
 	}
 }

@@ -1,0 +1,50 @@
+package gearopt
+
+import (
+	"testing"
+
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkGearoptObjective measures one candidate evaluation of the
+// coordinate-descent search — the operation the optimizer performs
+// thousands of times per run. Since the objective now retimes the exact
+// replay (no original-time approximation), this is also the cost of one
+// exact what-if answer per application.
+func BenchmarkGearoptObjective(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Iterations = 4
+	cfg.SkipPECalibration = true
+	inst, err := workload.FindInstance("BT-MZ-32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(inst, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := Config{Traces: []*trace.Trace{tr}, NGears: 6, Cache: dimemas.NewReplayCache()}
+	if err := scfg.normalize(); err != nil {
+		b.Fatal(err)
+	}
+	s, err := newSearcher(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := make([]float64, scfg.NGears)
+	step := (scfg.FMax - dvfs.FMin) / float64(scfg.NGears-1)
+	for i := range freqs {
+		freqs[i] = dvfs.FMin + float64(i)*step
+	}
+	freqs[scfg.NGears-1] = scfg.FMax
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.objective(freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

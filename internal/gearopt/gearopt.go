@@ -5,17 +5,19 @@
 // constructively with a coordinate-descent search over gear frequencies.
 //
 // The search objective is the average normalized CPU energy of the MAX
-// algorithm over a set of application traces. During the search the
-// execution time is approximated by the original time (MAX keeps it within
-// a couple of percent on single-phase applications), which makes one
-// candidate evaluation a pure model computation — no replay. The final
-// result is re-scored with full replays.
+// algorithm over a set of application traces, evaluated *exactly*: every
+// candidate is scored by retiming the trace's frequency-independent timing
+// skeleton (dimemas.Skeleton), which is bit-identical to a full replay at a
+// fraction of the cost. The search result therefore needs no re-scoring —
+// Result.SearchEnergy equals the full-replay Result.Energy by construction,
+// eliminating the original-time approximation gap.
 package gearopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -43,18 +45,24 @@ type Config struct {
 	Grid float64
 	// MaxRounds bounds the coordinate-descent rounds (default 8).
 	MaxRounds int
-	// Cache optionally memoizes the baseline replays: the profiling pass
-	// and the final full-replay scoring replay the same original
-	// executions, and callers sweeping several searches over the same
-	// traces share them too. Nil means uncached.
+	// Cache optionally memoizes the baseline replays and timing skeletons:
+	// the profiling pass, the search and the final scoring all share the
+	// same originals, and callers sweeping several searches over the same
+	// traces share them too. Nil means uncached (skeletons are then built
+	// once per search).
 	Cache *dimemas.ReplayCache
+	// Ctx optionally bounds the search: it is polled between candidate
+	// evaluations and threaded into the replays, so a cancelled caller
+	// stops paying for the remaining lattice points.
+	Ctx context.Context
 }
 
 // Result reports an optimized gear set.
 type Result struct {
 	// Set is the optimized gear set.
 	Set *dvfs.Set
-	// SearchEnergy is the objective value under the search approximation.
+	// SearchEnergy is the objective value of the optimized set. The
+	// objective retimes the exact replay, so it equals Energy.
 	SearchEnergy float64
 	// Energy and UniformEnergy are full-replay average normalized energies
 	// of the optimized set and the uniform set of the same size.
@@ -66,19 +74,35 @@ type Result struct {
 // ErrNoTraces reports an empty application list.
 var ErrNoTraces = errors.New("gearopt: need at least one trace")
 
+// appProfile holds one application's frequency-independent inputs plus the
+// per-evaluation scratch buffers, preallocated once so the inner search
+// loop allocates only what the gear-set constructor and the balancer
+// inherently return.
 type appProfile struct {
-	comp       []float64 // per-rank computation time at fmax
-	origTime   float64
+	comp       []float64 // per-rank computation time at fmax (shared cache Result — read-only)
 	origEnergy float64
+	skel       *dimemas.Skeleton
+	res        dimemas.Result // reusable retime output
+	usage      []power.Usage  // reusable energy-accounting rows
+	freqs      []float64      // reusable per-rank frequency vector
 }
 
-// Optimize runs the search.
-func Optimize(cfg Config) (*Result, error) {
+// searcher carries the search state; it is confined to one goroutine.
+type searcher struct {
+	cfg      Config
+	pm       *power.Model
+	profiles []appProfile
+	bal      core.Balancer
+	gears    []dvfs.Gear // reusable candidate gear list
+	evals    int
+}
+
+func (cfg *Config) normalize() error {
 	if len(cfg.Traces) == 0 {
-		return nil, ErrNoTraces
+		return ErrNoTraces
 	}
 	if cfg.NGears < 2 {
-		return nil, fmt.Errorf("gearopt: need at least 2 gears, got %d", cfg.NGears)
+		return fmt.Errorf("gearopt: need at least 2 gears, got %d", cfg.NGears)
 	}
 	if cfg.Platform == (dimemas.Platform{}) {
 		cfg.Platform = dimemas.DefaultPlatform()
@@ -96,65 +120,111 @@ func Optimize(cfg Config) (*Result, error) {
 		cfg.Grid = 0.05
 	}
 	if cfg.Grid <= 0 {
-		return nil, fmt.Errorf("gearopt: grid step must be positive, got %v", cfg.Grid)
+		return fmt.Errorf("gearopt: grid step must be positive, got %v", cfg.Grid)
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 8
 	}
+	return nil
+}
+
+// newSearcher profiles every application once (baseline replay + timing
+// skeleton, both shared through the cache when one is configured) and
+// preallocates the per-evaluation buffers.
+func newSearcher(cfg Config) (*searcher, error) {
 	pm, err := power.New(cfg.Power)
 	if err != nil {
 		return nil, err
 	}
-
-	// Profile every application once.
-	profiles := make([]appProfile, len(cfg.Traces))
+	s := &searcher{
+		cfg:      cfg,
+		pm:       pm,
+		profiles: make([]appProfile, len(cfg.Traces)),
+		bal:      core.Balancer{Beta: cfg.Beta, FMax: cfg.FMax},
+		gears:    make([]dvfs.Gear, cfg.NGears),
+	}
 	nominal := dvfs.GearAt(cfg.FMax)
+	opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Ctx: cfg.Ctx}
 	for i, tr := range cfg.Traces {
-		res, err := cfg.Cache.Original(tr, cfg.Platform, dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax})
+		res, err := cfg.Cache.Original(tr, cfg.Platform, opts)
 		if err != nil {
 			return nil, fmt.Errorf("gearopt: profiling trace %d: %w", i, err)
 		}
-		usage := make([]power.Usage, len(res.Compute))
-		for r := range usage {
-			usage[r] = power.Usage{Gear: nominal, ComputeTime: res.Compute[r], CommTime: res.Comm(r)}
+		skel, err := cfg.Cache.SkeletonFor(tr, cfg.Platform, opts)
+		if err != nil {
+			return nil, fmt.Errorf("gearopt: skeleton for trace %d: %w", i, err)
 		}
-		e, err := pm.Energy(usage)
+		n := len(res.Compute)
+		p := &s.profiles[i]
+		p.comp = res.Compute
+		p.skel = skel
+		p.usage = make([]power.Usage, n)
+		p.freqs = make([]float64, n)
+		for r := 0; r < n; r++ {
+			p.usage[r] = power.Usage{Gear: nominal, ComputeTime: res.Compute[r], CommTime: res.Comm(r)}
+		}
+		e, err := pm.Energy(p.usage)
 		if err != nil {
 			return nil, err
 		}
-		profiles[i] = appProfile{comp: res.Compute, origTime: res.Time, origEnergy: e}
+		p.origEnergy = e
 	}
+	return s, nil
+}
 
-	evals := 0
-	objective := func(freqs []float64) (float64, error) {
-		evals++
-		gears := make([]dvfs.Gear, len(freqs))
-		for i, f := range freqs {
-			gears[i] = dvfs.GearAt(f)
+// objective scores one candidate gear placement exactly: assign MAX gears
+// per application, retime the skeleton with the assignment, and account the
+// energy of the retimed execution — the same arithmetic, in the same order,
+// as the full analysis pipeline, so the search value IS the final value.
+func (s *searcher) objective(freqs []float64) (float64, error) {
+	s.evals++
+	if s.cfg.Ctx != nil {
+		if err := s.cfg.Ctx.Err(); err != nil {
+			return 0, err
 		}
-		set, err := dvfs.FromGears("candidate", gears)
+	}
+	for i, f := range freqs {
+		s.gears[i] = dvfs.GearAt(f)
+	}
+	set, err := dvfs.FromGears("candidate", s.gears)
+	if err != nil {
+		return 0, err
+	}
+	s.bal.Set = set
+	var sum float64
+	for pi := range s.profiles {
+		p := &s.profiles[pi]
+		a, err := s.bal.Assign(core.MAX, p.comp)
 		if err != nil {
 			return 0, err
 		}
-		bal := &core.Balancer{Set: set, Beta: cfg.Beta, FMax: cfg.FMax}
-		var sum float64
-		for _, p := range profiles {
-			a, err := bal.Assign(core.MAX, p.comp)
-			if err != nil {
-				return 0, err
-			}
-			usage := make([]power.Usage, len(p.comp))
-			for r := range usage {
-				ct := p.comp[r] * timemodel.Slowdown(cfg.Beta, cfg.FMax, a.Gears[r].Freq)
-				usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: math.Max(0, p.origTime-ct)}
-			}
-			e, err := pm.Energy(usage)
-			if err != nil {
-				return 0, err
-			}
-			sum += e / p.origEnergy
+		for r := range p.freqs {
+			p.freqs[r] = a.Gears[r].Freq
 		}
-		return sum / float64(len(profiles)), nil
+		if err := p.skel.RetimeInto(&p.res, p.freqs); err != nil {
+			return 0, err
+		}
+		for r := range p.usage {
+			ct := p.res.Compute[r]
+			p.usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: p.res.Time - ct}
+		}
+		e, err := s.pm.Energy(p.usage)
+		if err != nil {
+			return 0, err
+		}
+		sum += e / p.origEnergy
+	}
+	return sum / float64(len(s.profiles)), nil
+}
+
+// Optimize runs the search.
+func Optimize(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s, err := newSearcher(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// Start from the uniform placement.
@@ -164,7 +234,7 @@ func Optimize(cfg Config) (*Result, error) {
 		freqs[i] = dvfs.FMin + float64(i)*step
 	}
 	freqs[cfg.NGears-1] = cfg.FMax
-	best, err := objective(freqs)
+	best, err := s.objective(freqs)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +253,7 @@ func Optimize(cfg Config) (*Result, error) {
 			for f := lo; f <= hi+1e-9; f += cfg.Grid {
 				old := freqs[i]
 				freqs[i] = f
-				v, err := objective(freqs)
+				v, err := s.objective(freqs)
 				if err != nil {
 					return nil, err
 				}
@@ -210,7 +280,10 @@ func Optimize(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Honest final scores with full replays.
+	// Final scores with full replays. The optimized set's score is already
+	// exact (the objective retimes the real execution), but re-deriving it
+	// through the analysis pipeline keeps the two code paths honest — the
+	// golden tests assert SearchEnergy == Energy bit-for-bit.
 	full, err := fullScore(cfg, set)
 	if err != nil {
 		return nil, err
@@ -230,27 +303,50 @@ func Optimize(cfg Config) (*Result, error) {
 		Energy:        full,
 		UniformEnergy: uniformScore,
 		Rounds:        rounds,
-		Evaluations:   evals,
+		Evaluations:   s.evals,
 	}, nil
 }
 
+// fullScore averages the normalized energy of the analysis pipeline over
+// every trace. The traces are independent pipelines over a shared
+// read-only cache, so they are evaluated concurrently; the per-trace values
+// are summed in trace order, which keeps the result bit-deterministic, and
+// the first error in trace order wins (matching the serial loop).
 func fullScore(cfg Config, set *dvfs.Set) (float64, error) {
-	var sum float64
-	for _, tr := range cfg.Traces {
-		res, err := analysis.Run(analysis.Config{
-			Trace:     tr,
-			Platform:  cfg.Platform,
-			Power:     cfg.Power,
-			Set:       set,
-			Algorithm: core.MAX,
-			Beta:      cfg.Beta,
-			FMax:      cfg.FMax,
-			Cache:     cfg.Cache,
-		})
+	norms := make([]float64, len(cfg.Traces))
+	errs := make([]error, len(cfg.Traces))
+	var wg sync.WaitGroup
+	for i, tr := range cfg.Traces {
+		wg.Add(1)
+		go func(i int, tr *trace.Trace) {
+			defer wg.Done()
+			res, err := analysis.Run(analysis.Config{
+				Trace:     tr,
+				Platform:  cfg.Platform,
+				Power:     cfg.Power,
+				Set:       set,
+				Algorithm: core.MAX,
+				Beta:      cfg.Beta,
+				FMax:      cfg.FMax,
+				Cache:     cfg.Cache,
+				Ctx:       cfg.Ctx,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			norms[i] = res.Norm.Energy
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return 0, err
 		}
-		sum += res.Norm.Energy
+	}
+	var sum float64
+	for _, v := range norms {
+		sum += v
 	}
 	return sum / float64(len(cfg.Traces)), nil
 }

@@ -1,9 +1,12 @@
 package gearopt
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/dimemas"
 	"repro/internal/dvfs"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -72,6 +75,47 @@ func TestOptimizeImprovesOnUniform(t *testing.T) {
 	}
 	if res.SearchEnergy <= 0 || res.SearchEnergy > 1 {
 		t.Errorf("search energy %v out of range", res.SearchEnergy)
+	}
+	// The objective retimes the exact replay, so the search score must
+	// equal the full-replay score bit-for-bit — the historical
+	// approximation gap is gone.
+	if res.SearchEnergy != res.Energy {
+		t.Errorf("SearchEnergy %v != full-replay Energy %v (approximation gap)", res.SearchEnergy, res.Energy)
+	}
+}
+
+func TestSearchEnergyEqualsFullReplayWithSharedCache(t *testing.T) {
+	trs := testTraces(t)
+	cache := dimemas.NewReplayCache()
+	res, err := Optimize(Config{Traces: trs, NGears: 4, Grid: 0.1, MaxRounds: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SearchEnergy != res.Energy {
+		t.Errorf("cached: SearchEnergy %v != Energy %v", res.SearchEnergy, res.Energy)
+	}
+	// One baseline and one skeleton per trace.
+	if got, want := cache.Len(), 2*len(trs); got != want {
+		t.Errorf("cache holds %d entries, want %d (baseline + skeleton per trace)", got, want)
+	}
+	// The same search without a cache must land on the identical result:
+	// retiming is bit-identical whether or not the skeleton is shared.
+	uncached, err := Optimize(Config{Traces: trs, NGears: 4, Grid: 0.1, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.SearchEnergy != res.SearchEnergy || uncached.Energy != res.Energy {
+		t.Errorf("uncached search diverged: %v/%v vs %v/%v",
+			uncached.SearchEnergy, uncached.Energy, res.SearchEnergy, res.Energy)
+	}
+}
+
+func TestOptimizeHonorsContext(t *testing.T) {
+	trs := testTraces(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(Config{Traces: trs, NGears: 4, Grid: 0.1, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled search returned %v, want context.Canceled", err)
 	}
 }
 

@@ -51,3 +51,55 @@ func BenchmarkServerAnalyze(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkServerAnalyzeBatch measures end-to-end /v1/analyze/batch
+// throughput: sixteen gear assignments retimed off one shared timing
+// skeleton per request. Compare the per-item cost against
+// BenchmarkServerAnalyze to see what batching saves.
+func BenchmarkServerAnalyzeBatch(b *testing.B) {
+	s := New(Config{MaxInFlight: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	items := make([]AnalyzeBatchItem, 16)
+	for i := range items {
+		n := 2 + i%7
+		kind := "uniform"
+		if i%2 == 1 {
+			kind = "exponential"
+		}
+		items[i] = AnalyzeBatchItem{Algorithm: "MAX", GearSet: GearSetSpec{Kind: kind, N: n}}
+	}
+	body, err := json.Marshal(AnalyzeBatchRequest{
+		Trace: TraceSpec{App: "IS-32", Iterations: 3, Quick: true},
+		Items: items,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/analyze/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := post(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
@@ -10,6 +11,26 @@ import (
 	"repro/internal/gearopt"
 	"repro/internal/trace"
 )
+
+// cacheFor returns the replay cache a request should thread through the
+// pipeline. Inline text traces are parsed into a fresh *trace.Trace per
+// request, so shared-cache entries keyed by them can never be hit again —
+// they would only evict warm generated-workload entries from the bounded
+// LRU. Such requests get the result of local() instead (a request-scoped
+// cache when the handler itself re-evaluates the trace, built lazily so
+// the common generated-workload path allocates nothing) or nil for
+// one-shot pipelines.
+func (s *Server) cacheFor(local func() *dimemas.ReplayCache, specs ...TraceSpec) *dimemas.ReplayCache {
+	for _, spec := range specs {
+		if spec.Text != "" {
+			if local == nil {
+				return nil
+			}
+			return local()
+		}
+	}
+	return s.cache
+}
 
 // HealthBody is the GET /healthz response.
 type HealthBody struct {
@@ -39,12 +60,13 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := call(r.Context(), func() (*ReplayResponse, error) {
-		tr, err := s.traceFor(req.Trace)
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*ReplayResponse, error) {
+		tr, err := s.traceFor(ctx, req.Trace)
 		if err != nil {
 			return nil, err
 		}
-		opts, err := normalizeOptions(dimemas.Options{Beta: req.Beta, FMax: req.FMax})
+		opts, err := normalizeOptions(dimemas.Options{Beta: req.Beta, FMax: req.FMax, Ctx: ctx})
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +76,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			}
 			opts.Freqs = req.Freqs
 		}
-		res, err := s.cache.Original(tr, s.platform, opts)
+		// Replay retimes explicit gear vectors off the memoized timing
+		// skeleton (bit-identical to a fresh simulation) and memoizes the
+		// baseline otherwise; a one-shot inline trace bypasses the cache
+		// (nil degrades to a plain Simulate).
+		res, err := s.cacheFor(nil, req.Trace).Replay(tr, s.platform, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -73,8 +99,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := call(r.Context(), func() (*AnalyzeResponse, error) {
-		tr, err := s.traceFor(req.Trace)
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*AnalyzeResponse, error) {
+		tr, err := s.traceFor(ctx, req.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -94,12 +121,76 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			Algorithm: algo,
 			Beta:      req.Beta,
 			FMax:      req.FMax,
-			Cache:     s.cache,
+			Cache:     s.cacheFor(nil, req.Trace),
+			Ctx:       ctx,
 		})
 		if err != nil {
 			return nil, err
 		}
 		return NewAnalyzeResponse(set.Name(), res), nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAnalyzeBatch answers N what-if questions about one trace in a
+// single request. The baseline replay and the timing skeleton are shared
+// through the cache, so items 2..N cost one gear assignment plus one
+// O(events) retiming each — no repeated replays.
+func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeBatchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*AnalyzeBatchResponse, error) {
+		if len(req.Items) == 0 || len(req.Items) > MaxBatchItems {
+			return nil, errBatchCount(len(req.Items))
+		}
+		tr, err := s.traceFor(ctx, req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		// An inline trace still shares its baseline + skeleton across the
+		// batch's items — through a request-local cache rather than the
+		// daemon's LRU, whose entries it could never hit again.
+		cache := s.cacheFor(dimemas.NewReplayCache, req.Trace)
+		out := &AnalyzeBatchResponse{App: tr.App, Results: make([]AnalyzeResponse, 0, len(req.Items))}
+		for i, item := range req.Items {
+			// Even all-warm-cache items cost an assignment + retiming each;
+			// stop burning the in-flight slot as soon as the request dies.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			algo, err := parseAlgorithm(item.Algorithm)
+			if err != nil {
+				return nil, fmt.Errorf("items[%d]: %w", i, err)
+			}
+			set, err := item.GearSet.set()
+			if err != nil {
+				return nil, fmt.Errorf("items[%d]: %w", i, err)
+			}
+			res, err := analysis.Run(analysis.Config{
+				Trace:     tr,
+				Platform:  s.platform,
+				Power:     s.power,
+				Set:       set,
+				Algorithm: algo,
+				Beta:      req.Beta,
+				FMax:      req.FMax,
+				Cache:     cache,
+				Ctx:       ctx,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("items[%d]: %w", i, err)
+			}
+			out.Results = append(out.Results, *NewAnalyzeResponse(set.Name(), res))
+		}
+		return out, nil
 	})
 	if err != nil {
 		finishErr(s, w, err)
@@ -114,13 +205,14 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := call(r.Context(), func() (*GearOptResponse, error) {
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*GearOptResponse, error) {
 		if len(req.Traces) == 0 || len(req.Traces) > MaxGearOptTraces {
 			return nil, errTraceCount(len(req.Traces))
 		}
 		traces := make([]*trace.Trace, len(req.Traces))
 		for i, spec := range req.Traces {
-			tr, err := s.traceFor(spec)
+			tr, err := s.traceFor(ctx, spec)
 			if err != nil {
 				return nil, err
 			}
@@ -142,7 +234,11 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 			FMax:      req.FMax,
 			Grid:      req.Grid,
 			MaxRounds: req.MaxRounds,
-			Cache:     s.cache,
+			// A search over any inline trace shares its replays within the
+			// request only (request-local cache) — inline trace identities
+			// never recur, so daemon-cache entries for them are dead weight.
+			Cache: s.cacheFor(dimemas.NewReplayCache, req.Traces...),
+			Ctx:   ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -162,11 +258,12 @@ func (s *Server) handleTracegen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := call(r.Context(), func() (*TracegenResponse, error) {
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*TracegenResponse, error) {
 		if req.Trace.Text != "" {
 			return nil, errInlineTracegen
 		}
-		tr, err := s.traceFor(req.Trace)
+		tr, err := s.traceFor(ctx, req.Trace)
 		if err != nil {
 			return nil, err
 		}

@@ -6,16 +6,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/replay    — replay a trace at given per-rank frequencies
-//	POST /v1/analyze   — MAX/AVG policy analysis with energy metrics
-//	POST /v1/gearopt   — gear-placement search over a workload list
-//	POST /v1/tracegen  — generate a Table 3 synthetic workload
-//	GET  /v1/apps      — list the Table 3 instances
-//	GET  /healthz      — liveness
-//	GET  /metrics      — Prometheus text: cache stats, latencies, in-flight
+//	POST /v1/replay        — replay a trace at given per-rank frequencies
+//	POST /v1/analyze       — MAX/AVG policy analysis with energy metrics
+//	POST /v1/analyze/batch — N gear assignments retimed off one skeleton
+//	POST /v1/gearopt       — gear-placement search over a workload list
+//	POST /v1/tracegen      — generate a Table 3 synthetic workload
+//	GET  /v1/apps          — list the Table 3 instances
+//	GET  /healthz          — liveness
+//	GET  /metrics          — Prometheus text: cache stats, latencies, in-flight
 //
 // Simulation endpoints run behind a configurable in-flight limit (excess
-// requests get 503) and a per-request timeout (504). Shutdown drains
+// requests get 503) and a per-request timeout (504); the request context is
+// threaded into the replay and retiming loops, so timed-out work stops
+// running — and releases its in-flight slot — promptly instead of holding
+// the slot until the abandoned simulation finishes. Shutdown drains
 // in-flight requests.
 package server
 
@@ -149,6 +153,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
 	s.mux.HandleFunc("POST /v1/replay", s.limited("/v1/replay", s.handleReplay))
 	s.mux.HandleFunc("POST /v1/analyze", s.limited("/v1/analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.limited("/v1/analyze/batch", s.handleAnalyzeBatch))
 	s.mux.HandleFunc("POST /v1/gearopt", s.limited("/v1/gearopt", s.handleGearOpt))
 	s.mux.HandleFunc("POST /v1/tracegen", s.limited("/v1/tracegen", s.handleTracegen))
 }
@@ -263,11 +268,15 @@ func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // call runs f off-handler and returns its result, or ctx's error if the
-// deadline fires first. The simulation itself cannot be cancelled
-// mid-flight; it finishes in the background (and, for cached baselines,
-// still populates the shared cache) while the request returns 504 — but it
-// keeps holding its in-flight slot until it truly finishes, so MaxInFlight
-// bounds running simulations, not just attached requests.
+// deadline fires first. The in-flight slot is held until f truly returns,
+// so MaxInFlight bounds running simulations, not just attached requests —
+// but since the handlers thread ctx into the replay/retiming loops and
+// into workload generation's calibration replays (dimemas.Options.Ctx,
+// analysis.Config.Ctx, gearopt.Config.Ctx, workload.Config.Ctx), a
+// timed-out f aborts at its next cancellation check and the slot frees
+// promptly. A replay or generation cancelled mid-flight is not memoized,
+// so the shared caches never serve a dead request's cancellation to later
+// callers.
 func call[T any](ctx context.Context, f func() (T, error)) (T, error) {
 	token, _ := ctx.Value(semTokenKey{}).(*semToken)
 	owned := token != nil && token.claim()
@@ -294,8 +303,12 @@ func call[T any](ctx context.Context, f func() (T, error)) (T, error) {
 
 // traceFor resolves a TraceSpec: inline text is parsed per request;
 // generated workloads are memoized so every request for the same instance
-// shares one trace identity — the property the replay cache keys on.
-func (s *Server) traceFor(spec TraceSpec) (*trace.Trace, error) {
+// shares one trace identity — the property the replay cache keys on. The
+// request context is threaded into the calibration replays so a timed-out
+// request stops generating promptly; a generation aborted that way is not
+// memoized (waiters with live contexts retry, bounded, then generate
+// uncached rather than loop on repeatedly cancelled peers).
+func (s *Server) traceFor(ctx context.Context, spec TraceSpec) (*trace.Trace, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -314,33 +327,67 @@ func (s *Server) traceFor(spec TraceSpec) (*trace.Trace, error) {
 	if iters == 0 {
 		iters = workload.DefaultConfig().Iterations
 	}
-	k := traceKey{app: inst.Name, nprocs: inst.NProcs, iterations: iters, quick: spec.Quick}
-	s.tmu.Lock()
-	var e *traceEntry
-	if el, ok := s.traces[k]; ok {
-		s.tlru.MoveToFront(el)
-		e = el.Value.(*traceItem).entry
-	} else {
-		e = &traceEntry{}
-		s.traces[k] = s.tlru.PushFront(&traceItem{key: k, entry: e})
-		// Bound the memo: a long-running daemon must not accumulate one
-		// trace per distinct (app, nprocs, iterations, quick) tuple
-		// forever. Replay-cache entries keyed by an evicted trace simply
-		// age out of that LRU in turn.
-		if max := s.cfg.TraceCacheEntries; max > 0 && s.tlru.Len() > max {
-			back := s.tlru.Back()
-			s.tlru.Remove(back)
-			delete(s.traces, back.Value.(*traceItem).key)
-		}
-	}
-	s.tmu.Unlock()
-	e.once.Do(func() {
+	generate := func() (*trace.Trace, error) {
 		cfg := workload.DefaultConfig()
 		cfg.Iterations = iters
 		cfg.SkipPECalibration = spec.Quick
-		e.tr, e.err = workload.Generate(inst, cfg)
-	})
-	return e.tr, e.err
+		cfg.Ctx = ctx
+		return workload.Generate(inst, cfg)
+	}
+	k := traceKey{app: inst.Name, nprocs: inst.NProcs, iterations: iters, quick: spec.Quick}
+	for attempt := 0; ; attempt++ {
+		e := s.traceEntryFor(k)
+		e.once.Do(func() { e.tr, e.err = generate() })
+		if e.err == nil || !isCtxErr(e.err) {
+			return e.tr, e.err
+		}
+		s.tmu.Lock()
+		if el, ok := s.traces[k]; ok && el.Value.(*traceItem).entry == e {
+			s.tlru.Remove(el)
+			delete(s.traces, k)
+		}
+		s.tmu.Unlock()
+		if ctx != nil {
+			if own := ctx.Err(); own != nil {
+				return nil, own
+			}
+		}
+		if attempt >= 2 {
+			return generate()
+		}
+	}
+}
+
+// traceEntryFor returns the single-flight memo entry for k, inserting (and
+// possibly LRU-evicting) under the lock.
+func (s *Server) traceEntryFor(k traceKey) *traceEntry {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if el, ok := s.traces[k]; ok {
+		s.tlru.MoveToFront(el)
+		return el.Value.(*traceItem).entry
+	}
+	e := &traceEntry{}
+	s.traces[k] = s.tlru.PushFront(&traceItem{key: k, entry: e})
+	// Bound the memo: a long-running daemon must not accumulate one
+	// trace per distinct (app, nprocs, iterations, quick) tuple
+	// forever. Replay-cache entries keyed by an evicted trace simply
+	// age out of that LRU in turn.
+	if max := s.cfg.TraceCacheEntries; max > 0 && s.tlru.Len() > max {
+		back := s.tlru.Back()
+		s.tlru.Remove(back)
+		delete(s.traces, back.Value.(*traceItem).key)
+	}
+	return e
+}
+
+// isCtxErr mirrors the replay cache's classification of non-memoizable
+// cancellation errors. The whole single-flight-with-ctx-eviction pattern
+// in traceFor deliberately parallels dimemas.ReplayCache.flight /
+// retryAfterCtxError (the entry payloads and eviction policies differ);
+// keep behavioral changes to one in sync with the other.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // writeJSON writes v as a compact JSON body with a trailing newline.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dimemas"
 	"repro/internal/dvfs"
 	"repro/internal/gearopt"
+	"repro/internal/power"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -253,6 +254,46 @@ func TestInlineTextTraceReplay(t *testing.T) {
 	}
 }
 
+// TestInlineTracesDoNotPolluteSharedCache: inline text traces get a fresh
+// identity per request, so memoizing them in the daemon's bounded LRU
+// would only evict warm generated-workload entries.
+func TestInlineTracesDoNotPolluteSharedCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	tr := genTestTrace(t, testSpec)
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	inline := TraceSpec{Text: sb.String()}
+	freqs := make([]float64, tr.NumRanks())
+	for i := range freqs {
+		freqs[i] = 1.1
+	}
+	for _, req := range []any{
+		ReplayRequest{Trace: inline},
+		ReplayRequest{Trace: inline, Freqs: freqs},
+		AnalyzeRequest{Trace: inline, GearSet: GearSetSpec{Kind: "uniform"}},
+		AnalyzeBatchRequest{Trace: inline, Items: []AnalyzeBatchItem{
+			{GearSet: GearSetSpec{Kind: "uniform"}},
+			{GearSet: GearSetSpec{Kind: "exponential"}},
+		}},
+	} {
+		url := ts.URL + "/v1/replay"
+		switch req.(type) {
+		case AnalyzeRequest:
+			url = ts.URL + "/v1/analyze"
+		case AnalyzeBatchRequest:
+			url = ts.URL + "/v1/analyze/batch"
+		}
+		if code, body := postJSON(t, url, req); code != http.StatusOK {
+			t.Fatalf("%T: status %d: %s", req, code, body)
+		}
+	}
+	if n := s.Cache().Len(); n != 0 {
+		t.Errorf("inline requests left %d entries in the shared cache, want 0", n)
+	}
+}
+
 func TestAppsListsTable3(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	code, got := getBody(t, ts.URL+"/v1/apps")
@@ -286,11 +327,11 @@ func TestSharedCacheAcrossRequests(t *testing.T) {
 		t.Fatalf("replay status %d", code)
 	}
 	st := s.Cache().Stats()
-	if st.Misses != 1 {
-		t.Fatalf("cache misses = %d, want 1 (one baseline replay for all requests)", st.Misses)
+	if st.Misses != 2 {
+		t.Fatalf("cache misses = %d, want 2 (one baseline replay + one timing skeleton for all requests)", st.Misses)
 	}
-	if st.Hits < 2 {
-		t.Fatalf("cache hits = %d, want ≥ 2", st.Hits)
+	if st.Hits < 3 {
+		t.Fatalf("cache hits = %d, want ≥ 3", st.Hits)
 	}
 }
 
@@ -487,6 +528,132 @@ func TestTraceCacheBounded(t *testing.T) {
 	s.tmu.Unlock()
 	if n != 1 || lruLen != 1 {
 		t.Fatalf("trace memo holds %d map entries / %d lru entries, want 1/1", n, lruLen)
+	}
+}
+
+func TestAnalyzeBatchByteIdenticalToLibrary(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	items := []AnalyzeBatchItem{
+		{Algorithm: "MAX", GearSet: GearSetSpec{Kind: "uniform"}},
+		{Algorithm: "MAX", GearSet: GearSetSpec{Kind: "exponential", N: 4}},
+		{Algorithm: "AVG", GearSet: GearSetSpec{Kind: "uniform", Overclock: true}},
+		{Algorithm: "MAX", GearSet: GearSetSpec{Kind: "continuous-limited"}},
+	}
+	code, got := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{Trace: testSpec, Items: items, Beta: 0.4})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	// Library-side equivalent: independent analysis runs over the same
+	// trace (no shared cache needed for equality — retiming is
+	// bit-identical to simulating).
+	tr := genTestTrace(t, testSpec)
+	want := &AnalyzeBatchResponse{App: tr.App}
+	for _, item := range items {
+		algo, err := parseAlgorithm(item.Algorithm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := item.GearSet.set()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := analysis.Run(analysis.Config{
+			Trace:     tr,
+			Platform:  dimemas.DefaultPlatform(),
+			Power:     power.DefaultConfig(),
+			Set:       set,
+			Algorithm: algo,
+			Beta:      0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Results = append(want.Results, *NewAnalyzeResponse(set.Name(), res))
+	}
+	if wantBytes := wire(t, want); !bytes.Equal(got, wantBytes) {
+		t.Fatalf("batch response differs from library calls\n got: %s\nwant: %s", got, wantBytes)
+	}
+	// The whole batch shares one baseline replay and one timing skeleton.
+	if st := s.Cache().Stats(); st.Misses != 2 {
+		t.Errorf("cache misses = %d, want 2 (baseline + skeleton for the whole batch)", st.Misses)
+	}
+}
+
+func TestAnalyzeBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, body := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{Trace: testSpec}); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d: %s", code, body)
+	}
+	over := AnalyzeBatchRequest{Trace: testSpec, Items: make([]AnalyzeBatchItem, MaxBatchItems+1)}
+	for i := range over.Items {
+		over.Items[i] = AnalyzeBatchItem{GearSet: GearSetSpec{Kind: "uniform"}}
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/analyze/batch", over); code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d: %s", code, body)
+	}
+	bad := AnalyzeBatchRequest{Trace: testSpec, Items: []AnalyzeBatchItem{
+		{GearSet: GearSetSpec{Kind: "uniform"}},
+		{Algorithm: "NOPE", GearSet: GearSetSpec{Kind: "uniform"}},
+	}}
+	code, body := postJSON(t, ts.URL+"/v1/analyze/batch", bad)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad algorithm: status %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "items[1]") {
+		t.Errorf("error does not name the failing item: %s", body)
+	}
+}
+
+// TestTimeoutReleasesSlotPromptly proves the PR 2 limitation is gone: a
+// 504'd simulation request aborts at its next cancellation check (the
+// request context is threaded into the replay loops), so its in-flight
+// slot frees promptly instead of only when the abandoned replay finishes.
+func TestTimeoutReleasesSlotPromptly(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, RequestTimeout: time.Nanosecond})
+	code, _ := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Trace: testSpec, GearSet: GearSetSpec{Kind: "uniform"}})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case s.sem <- struct{}{}:
+			<-s.sem
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight slot not released after the cancelled work aborted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTimedOutGenerationNotMemoized proves workload generation is
+// cancellable too (the calibration replays poll the request context) and
+// that an aborted generation is evicted from the trace memo instead of
+// serving the dead request's cancellation to later callers.
+func TestTimedOutGenerationNotMemoized(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	// Non-quick spec: generation runs the PE-calibration bisection, the
+	// stage that was uncancellable before.
+	spec := TraceSpec{App: "IS-32", Iterations: 2}
+	code, _ := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: spec})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.tmu.Lock()
+		n := s.tlru.Len()
+		s.tmu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("aborted generation still memoized (%d entries)", n)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -28,6 +28,8 @@ const (
 	MaxGears = 64
 	// MaxGearOptTraces bounds the workload list of one gear-set search.
 	MaxGearOptTraces = 16
+	// MaxBatchItems bounds the gear assignments of one batched analysis.
+	MaxBatchItems = 64
 )
 
 // TraceSpec selects the trace a request operates on: either an inline trace
@@ -260,6 +262,35 @@ func NewAnalyzeResponse(setName string, res *analysis.Result) *AnalyzeResponse {
 	}
 }
 
+// AnalyzeBatchItem is one gear assignment of a batched analysis: an
+// algorithm/gear-set combination evaluated against the shared trace.
+type AnalyzeBatchItem struct {
+	// Algorithm selects the balancing policy: "MAX" (default) or "AVG".
+	Algorithm string      `json:"algorithm,omitempty"`
+	GearSet   GearSetSpec `json:"gear_set"`
+}
+
+// AnalyzeBatchRequest is the body of POST /v1/analyze/batch: one trace,
+// N gear assignments. The baseline replay and the timing skeleton are
+// computed once; every item is then a cheap retiming off the shared
+// skeleton, so asking 50 what-if questions costs barely more than asking
+// one.
+type AnalyzeBatchRequest struct {
+	Trace TraceSpec          `json:"trace"`
+	Items []AnalyzeBatchItem `json:"items"`
+	// Beta and FMax are shared by every item (they parameterize the
+	// skeleton the batch retimes).
+	Beta float64 `json:"beta,omitempty"`
+	FMax float64 `json:"fmax,omitempty"`
+}
+
+// AnalyzeBatchResponse is the body of a successful POST /v1/analyze/batch.
+// Results are in request-item order.
+type AnalyzeBatchResponse struct {
+	App     string            `json:"app"`
+	Results []AnalyzeResponse `json:"results"`
+}
+
 // GearOptRequest is the body of POST /v1/gearopt.
 type GearOptRequest struct {
 	// Traces lists the applications the gear placement is optimized for.
@@ -365,6 +396,10 @@ func errTraceCount(got int) error {
 
 func errGearCount(got int) error {
 	return fmt.Errorf("ngears: at most %d gears, got %d", MaxGears, got)
+}
+
+func errBatchCount(got int) error {
+	return fmt.Errorf("items: need 1..%d gear assignments, got %d", MaxBatchItems, got)
 }
 
 // normalizeOptions applies the same zero-value defaults the analysis

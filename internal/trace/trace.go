@@ -12,6 +12,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -327,19 +328,22 @@ func (t *Trace) PhaseComputeTimes() [][]float64 {
 
 // Validation errors.
 var (
-	ErrNoRanks       = errors.New("trace: no ranks")
-	ErrBadPeer       = errors.New("trace: peer rank out of range")
-	ErrSelfMessage   = errors.New("trace: send/recv to self")
-	ErrNegativeBurst = errors.New("trace: negative compute duration")
-	ErrNegativeSize  = errors.New("trace: negative message size")
-	ErrUnmatchedP2P  = errors.New("trace: unmatched point-to-point records")
-	ErrCollMismatch  = errors.New("trace: collective sequences differ between ranks")
+	ErrNoRanks         = errors.New("trace: no ranks")
+	ErrBadPeer         = errors.New("trace: peer rank out of range")
+	ErrSelfMessage     = errors.New("trace: send/recv to self")
+	ErrNegativeBurst   = errors.New("trace: compute duration must be finite and non-negative")
+	ErrBadBetaOverride = errors.New("trace: compute beta override must not be NaN or +Inf")
+	ErrNegativeSize    = errors.New("trace: negative message size")
+	ErrUnmatchedP2P    = errors.New("trace: unmatched point-to-point records")
+	ErrCollMismatch    = errors.New("trace: collective sequences differ between ranks")
 )
 
 // Validate checks structural well-formedness: peers in range, non-negative
 // durations/sizes, every send matched by exactly one receive (same pair of
 // ranks, same tag, same byte count, same order) and identical collective
-// sequences on every rank. A valid trace is guaranteed to replay without
+// sequences on every rank (same operation and same per-rank payload — the
+// modeled cost of a collective must not depend on which rank happens to
+// arrive last). A valid trace is guaranteed to replay without
 // deadlock under blocking semantics as long as sends/recvs are causally
 // orderable; the simulator additionally detects runtime deadlock.
 func (t *Trace) Validate() error {
@@ -358,8 +362,11 @@ func (t *Trace) Validate() error {
 		for i, rec := range recs {
 			switch rec.Kind {
 			case KindCompute:
-				if rec.Duration < 0 {
+				if rec.Duration < 0 || math.IsNaN(rec.Duration) || math.IsInf(rec.Duration, 1) {
 					return fmt.Errorf("%w: rank %d record %d (%v)", ErrNegativeBurst, r, i, rec.Duration)
+				}
+				if math.IsNaN(rec.Beta) || math.IsInf(rec.Beta, 1) {
+					return fmt.Errorf("%w: rank %d record %d (%v)", ErrBadBetaOverride, r, i, rec.Beta)
 				}
 			case KindSend, KindRecv:
 				if rec.Peer < 0 || rec.Peer >= n {
@@ -426,6 +433,10 @@ func (t *Trace) Validate() error {
 			if collSeq[r][i].Coll != collSeq[0][i].Coll {
 				return fmt.Errorf("%w: collective %d: rank %d calls %v, rank 0 calls %v",
 					ErrCollMismatch, i, r, collSeq[r][i].Coll, collSeq[0][i].Coll)
+			}
+			if collSeq[r][i].Bytes != collSeq[0][i].Bytes {
+				return fmt.Errorf("%w: collective %d: rank %d carries %d bytes, rank 0 carries %d",
+					ErrCollMismatch, i, r, collSeq[r][i].Bytes, collSeq[0][i].Bytes)
 			}
 		}
 	}

@@ -149,6 +149,32 @@ func TestValidateRejectsMalformed(t *testing.T) {
 			tr.Add(1, Coll(CollAllReduce, 8))
 			return tr
 		}, ErrCollMismatch},
+		{"collective payload mismatch", func() *Trace {
+			tr := New("x", 2)
+			tr.Add(0, Coll(CollAllReduce, 8))
+			tr.Add(1, Coll(CollAllReduce, 16))
+			return tr
+		}, ErrCollMismatch},
+		{"NaN duration", func() *Trace {
+			tr := New("x", 1)
+			tr.Add(0, Compute(math.NaN()))
+			return tr
+		}, ErrNegativeBurst},
+		{"infinite duration", func() *Trace {
+			tr := New("x", 1)
+			tr.Add(0, Compute(math.Inf(1)))
+			return tr
+		}, ErrNegativeBurst},
+		{"NaN beta override", func() *Trace {
+			tr := New("x", 1)
+			tr.Add(0, ComputeBeta(1, math.NaN()))
+			return tr
+		}, ErrBadBetaOverride},
+		{"infinite beta override", func() *Trace {
+			tr := New("x", 1)
+			tr.Add(0, ComputeBeta(1, math.Inf(1)))
+			return tr
+		}, ErrBadBetaOverride},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,6 +29,10 @@ type Config struct {
 	// trace then carries the default communication sizes. Load balance is
 	// still calibrated exactly. Useful for unit tests.
 	SkipPECalibration bool
+	// Ctx optionally bounds generation: the calibration's bisection
+	// replays poll it and abort with its error once it is done, so a
+	// serving layer can stop paying for a request that already timed out.
+	Ctx context.Context
 }
 
 // DefaultConfig returns the generation parameters used by all experiments:
@@ -234,7 +239,11 @@ type Characteristics struct {
 // Measure replays the trace at the nominal frequency and computes its
 // characteristics.
 func Measure(tr *trace.Trace, platform dimemas.Platform, fmax float64) (Characteristics, error) {
-	res, err := dimemas.Simulate(tr, platform, dimemas.Options{Beta: timemodel.DefaultBeta, FMax: fmax})
+	return measure(tr, platform, fmax, nil)
+}
+
+func measure(tr *trace.Trace, platform dimemas.Platform, fmax float64, ctx context.Context) (Characteristics, error) {
+	res, err := dimemas.Simulate(tr, platform, dimemas.Options{Beta: timemodel.DefaultBeta, FMax: fmax, Ctx: ctx})
 	if err != nil {
 		return Characteristics{}, err
 	}
@@ -266,7 +275,7 @@ func Generate(inst Instance, cfg Config) (*trace.Trace, error) {
 
 	peAt := func(scale float64) (float64, error) {
 		tr := p.build(cfg, scale)
-		ch, err := Measure(tr, cfg.Platform, cfg.FMax)
+		ch, err := measure(tr, cfg.Platform, cfg.FMax, cfg.Ctx)
 		if err != nil {
 			return 0, err
 		}
