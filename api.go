@@ -15,6 +15,7 @@ import (
 	"repro/internal/paraver"
 	"repro/internal/phased"
 	"repro/internal/power"
+	"repro/internal/powercap"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -303,6 +304,72 @@ type Server = server.Server
 
 // NewServer builds the daemon over the default platform and power model.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Power-cap scheduling — assign per-rank gears under a fixed cluster power
+// budget (the inverse of the paper's unbounded-power scenario).
+
+// PowerCapConfig parameterizes one budget-constrained scheduling run.
+type PowerCapConfig = powercap.Config
+
+// PowerCapResult reports both policies' schedules next to the uncapped
+// reference execution.
+type PowerCapResult = powercap.Result
+
+// PowerCapSchedule is one policy's gear assignment with its exact cost.
+type PowerCapSchedule = powercap.Schedule
+
+// PowerCapKind selects what the budget bounds (peak or time-averaged watts).
+type PowerCapKind = powercap.CapKind
+
+// Power-cap budget kinds.
+const (
+	// CapPeak bounds the worst-case instantaneous cluster power.
+	CapPeak = powercap.CapPeak
+	// CapAverage bounds the run's time-averaged cluster power.
+	CapAverage = powercap.CapAverage
+)
+
+// SchedulePowerCap schedules per-rank gears under a cluster power cap with
+// the uniform-downshift baseline and the load-aware redistribution policy,
+// scoring every candidate by exact skeleton retiming.
+func SchedulePowerCap(cfg PowerCapConfig) (*PowerCapResult, error) { return powercap.Run(cfg) }
+
+// Cluster power profiles — the time-resolved power draw of a replayed run.
+
+// PowerModel computes phase- and gear-dependent CPU power (§3.2).
+type PowerModel = power.Model
+
+// PowerPhase distinguishes computation from communication for
+// activity-factor purposes.
+type PowerPhase = power.Phase
+
+// Power phases.
+const (
+	// PhaseCompute is a computation burst (high activity factor).
+	PhaseCompute = power.Compute
+	// PhaseComm is communication or blocked-in-MPI time.
+	PhaseComm = power.Comm
+)
+
+// NewPowerModel builds and calibrates a power model.
+func NewPowerModel(cfg PowerConfig) (*PowerModel, error) { return power.New(cfg) }
+
+// GearAtFrequency builds the gear at frequency f (GHz) under the linear
+// voltage model.
+func GearAtFrequency(f float64) Gear { return dvfs.GearAt(f) }
+
+// PowerProfile is a replayed run's cluster power draw as a step function
+// over time, exposing peak, average and exceedance.
+type PowerProfile = power.Profile
+
+// PowerProfileStep is one constant-power interval of a profile.
+type PowerProfileStep = power.ProfileStep
+
+// BuildPowerProfile derives the cluster power profile of a replayed run
+// from its recorded per-rank timelines and gear assignment.
+func BuildPowerProfile(m *PowerModel, timelines [][]dimemas.Segment, gears []Gear, until float64) (*PowerProfile, error) {
+	return power.BuildProfile(m, timelines, gears, until)
+}
 
 // GearSearchConfig parameterizes the gear-placement optimizer.
 type GearSearchConfig = gearopt.Config

@@ -167,3 +167,50 @@ func TestDefaults(t *testing.T) {
 		t.Error("workload config")
 	}
 }
+
+func TestFacadePowerCap(t *testing.T) {
+	tr, err := GenerateWorkload("BT-MZ-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := UniformGearSet(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := NewPowerModel(DefaultPowerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 0.5 * float64(tr.NumRanks()) * pm.Power(PhaseCompute, GearAtFrequency(FMax))
+	res, err := SchedulePowerCap(PowerCapConfig{Trace: tr, Set: six, Cap: cap, Cache: NewReplayCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redistributed.PeakPower > cap || res.Uniform.PeakPower > cap {
+		t.Errorf("scheduled peaks %v / %v exceed the cap %v", res.Redistributed.PeakPower, res.Uniform.PeakPower, cap)
+	}
+	if res.Redistributed.Time > res.Uniform.Time {
+		t.Errorf("redistribution %v should not lose to uniform %v", res.Redistributed.Time, res.Uniform.Time)
+	}
+
+	// The profile facade reconstructs the uncapped reference peak.
+	opts := SimOptions{Beta: 0.5, FMax: FMax, RecordTimeline: true}
+	sim, err := Simulate(tr, DefaultPlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gears := make([]Gear, tr.NumRanks())
+	for i := range gears {
+		gears[i] = GearAtFrequency(FMax)
+	}
+	profile, err := BuildPowerProfile(pm, sim.Timeline, gears, sim.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.Peak() != res.Uncapped.PeakPower {
+		t.Errorf("profile peak %v != scheduler's uncapped peak %v", profile.Peak(), res.Uncapped.PeakPower)
+	}
+	if profile.TimeAbove(profile.Peak()) != 0 {
+		t.Error("time above the peak must be zero")
+	}
+}

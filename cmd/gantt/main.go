@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,39 +25,63 @@ import (
 )
 
 func main() {
-	var (
-		algName = flag.String("algorithm", "max", "balancing algorithm: max or avg")
-		gears   = flag.String("gears", "continuous", `gear set: "continuous", "unlimited" or a gear count like "6"`)
-		width   = flag.Int("width", 100, "chart width in characters")
-		ranks   = flag.Int("ranks", 24, "maximum rank rows to draw")
-	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gantt [flags] <file|->\n")
-		flag.PrintDefaults()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gantt:", err)
+		os.Exit(1)
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+}
+
+// run is main's body, split out so tests can drive flag parsing and the
+// error paths with injected streams. Unlike the old fatal(os.Exit) shape,
+// every early return unwinds normally, so the deferred trace-file Close
+// always runs.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gantt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		algName = fs.String("algorithm", "max", "balancing algorithm: max or avg")
+		gears   = fs.String("gears", "continuous", `gear set: "continuous", "unlimited" or a gear count like "6"`)
+		width   = fs.Int("width", 100, "chart width in characters")
+		ranks   = fs.Int("ranks", 24, "maximum rank rows to draw")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: gantt [flags] <file|->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one trace file (or -), got %d arguments", fs.NArg())
+	}
+	if *width <= 0 {
+		return fmt.Errorf("width must be positive, got %d", *width)
+	}
+	if *ranks <= 0 {
+		return fmt.Errorf("ranks must be positive, got %d", *ranks)
 	}
 
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
+	in := stdin
+	if name := fs.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		in = f
 	}
 	tr, err := trace.Read(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	set, err := parseGearSet(*gears)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var alg core.Algorithm
 	switch *algName {
@@ -70,10 +95,10 @@ func main() {
 			set, err = set.ScaleMax(1.10)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q (want max or avg)", *algName))
+		return fmt.Errorf("unknown algorithm %q (want max or avg)", *algName)
 	}
 
 	res, err := analysis.Run(analysis.Config{
@@ -83,19 +108,20 @@ func main() {
 		RecordTimelines: true,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opts := gantt.Options{Width: *width, MaxRanks: *ranks}
-	fmt.Printf("%s — original execution (LB %.2f%%, PE %.2f%%)\n\n", tr.App, res.LB*100, res.PE*100)
-	if err := gantt.Render(os.Stdout, res.Orig.Timeline, res.Orig.Time, opts); err != nil {
-		fatal(err)
+	fmt.Fprintf(stdout, "%s — original execution (LB %.2f%%, PE %.2f%%)\n\n", tr.App, res.LB*100, res.PE*100)
+	if err := gantt.Render(stdout, res.Orig.Timeline, res.Orig.Time, opts); err != nil {
+		return err
 	}
-	fmt.Printf("\n%s — after %s with %s\n\n", tr.App, res.Assignment.Algorithm, set.Name())
-	if err := gantt.Render(os.Stdout, res.New.Timeline, res.New.Time, opts); err != nil {
-		fatal(err)
+	fmt.Fprintf(stdout, "\n%s — after %s with %s\n\n", tr.App, res.Assignment.Algorithm, set.Name())
+	if err := gantt.Render(stdout, res.New.Timeline, res.New.Time, opts); err != nil {
+		return err
 	}
-	fmt.Printf("\n%s; %d/%d CPUs over-clocked\n", res.Norm, res.Assignment.Overclocked, tr.NumRanks())
+	fmt.Fprintf(stdout, "\n%s; %d/%d CPUs over-clocked\n", res.Norm, res.Assignment.Overclocked, tr.NumRanks())
+	return nil
 }
 
 func parseGearSet(s string) (*dvfs.Set, error) {
@@ -111,9 +137,4 @@ func parseGearSet(s string) (*dvfs.Set, error) {
 		}
 		return dvfs.Uniform(n)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gantt:", err)
-	os.Exit(1)
 }

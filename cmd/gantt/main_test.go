@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeTraceFile serializes a small imbalanced trace to a temp file.
+func writeTraceFile(t *testing.T) string {
+	t.Helper()
+	tr := trace.New("micro", 4)
+	loads := []float64{1.0, 0.25, 0.25, 0.25}
+	for it := 0; it < 2; it++ {
+		for r, w := range loads {
+			tr.Add(r, trace.Compute(w))
+		}
+		for r := 0; r < 4; r++ {
+			tr.Add(r, trace.Coll(trace.CollBarrier, 0), trace.IterMark())
+		}
+	}
+	path := filepath.Join(t.TempDir(), "micro.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersBothCharts(t *testing.T) {
+	path := writeTraceFile(t)
+	var out, errOut strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"micro — original execution", "after MAX", "LB 43.75%", "0/4 CPUs over-clocked"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunAVGAndGearCounts(t *testing.T) {
+	path := writeTraceFile(t)
+	var out, errOut strings.Builder
+	if err := run([]string{"-algorithm", "avg", "-gears", "6", "-width", "60", "-ranks", "2", path}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "after AVG") {
+		t.Errorf("output missing AVG chart:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "uniform-6+oc") {
+		t.Errorf("AVG should extend the discrete set with the over-clock gear:\n%s", out.String())
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	path := writeTraceFile(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-"}, strings.NewReader(string(b)), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "micro") {
+		t.Errorf("stdin render missing app name:\n%s", out.String())
+	}
+}
+
+func TestRunHelpExitsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-h"}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatalf("-h should succeed after printing usage, got %v", err)
+	}
+	if !strings.Contains(errOut.String(), "usage: gantt") {
+		t.Errorf("usage missing from -h output:\n%s", errOut.String())
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	path := writeTraceFile(t)
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("not a trace at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"no args", []string{}, "expected exactly one trace file"},
+		{"two args", []string{path, path}, "expected exactly one trace file"},
+		{"zero width", []string{"-width", "0", path}, "width must be positive"},
+		{"negative width", []string{"-width", "-3", path}, "width must be positive"},
+		{"zero ranks", []string{"-ranks", "0", path}, "ranks must be positive"},
+		{"missing file", []string{"/nonexistent/x.trace"}, "no such file"},
+		{"malformed trace", []string{bad}, "trace"},
+		{"bad algorithm", []string{"-algorithm", "median", path}, "unknown algorithm"},
+		{"bad gear set", []string{"-gears", "plenty", path}, "bad gear set"},
+		{"one gear", []string{"-gears", "1", path}, "at least 2 gears"},
+	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		err := run(tc.args, strings.NewReader(""), &out, &errOut)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "worker-pool size for sweep cells (results are identical to serial)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
 		return err
 	}
 	if fs.NArg() > 0 {

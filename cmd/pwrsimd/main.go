@@ -7,8 +7,9 @@
 //	pwrsimd -addr :8723
 //	pwrsimd -addr :8723 -max-inflight 16 -timeout 60s -cache-entries 512
 //
-// Endpoints: POST /v1/replay, /v1/analyze, /v1/gearopt, /v1/tracegen,
-// GET /v1/apps, /healthz, /metrics. See internal/server and README.md.
+// Endpoints: POST /v1/replay, /v1/analyze, /v1/analyze/batch, /v1/gearopt,
+// /v1/powercap, /v1/tracegen, GET /v1/apps, /healthz, /metrics. See
+// internal/server and README.md.
 package main
 
 import (
@@ -47,6 +48,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		drain        = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
 		return err
 	}
 	if fs.NArg() > 0 {

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		list    = fs.Bool("list", false, "list Table 3 instances and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
 		return err
 	}
 	if fs.NArg() > 0 {

@@ -11,11 +11,13 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/dimemas"
 	"repro/internal/dvfs"
@@ -26,21 +28,39 @@ import (
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: traceinfo <file|->\n")
-		flag.PrintDefaults()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+}
+
+// run is main's body, split out so tests can drive flag parsing, the
+// Paraver header-sniffing branch and the error paths with injected streams.
+// Every early return unwinds normally, so the deferred trace-file Close
+// always runs (the old fatal(os.Exit) skipped it).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: traceinfo <file|->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one trace file (or -), got %d arguments", fs.NArg())
 	}
 
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
+	in := stdin
+	if name := fs.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		in = f
@@ -48,47 +68,50 @@ func main() {
 	// Sniff the header: native traces start with #PWRTRACE, Paraver files
 	// with #Paraver.
 	br := bufio.NewReader(in)
-	head, err := br.Peek(9)
+	head, err := br.Peek(8)
 	if err != nil {
-		fatal(fmt.Errorf("reading input: %w", err))
+		return fmt.Errorf("reading input: %w", err)
 	}
 	var tr *trace.Trace
-	if string(head) == "#Paraver " || string(head[:8]) == "#Paraver" {
+	if strings.HasPrefix(string(head), "#Paraver") {
 		tr, err = paraver.Read(br)
 	} else {
 		tr, err = trace.Read(br)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := tr.Validate(); err != nil {
-		fatal(fmt.Errorf("trace is malformed: %w", err))
+		return fmt.Errorf("trace is malformed: %w", err)
 	}
 
-	fmt.Printf("application:   %s\n", tr.App)
-	fmt.Printf("ranks:         %d\n", tr.NumRanks())
-	fmt.Printf("records:       %d\n", tr.NumRecords())
-	fmt.Printf("iterations:    %d\n", tr.Iterations())
+	fmt.Fprintf(stdout, "application:   %s\n", tr.App)
+	fmt.Fprintf(stdout, "ranks:         %d\n", tr.NumRanks())
+	fmt.Fprintf(stdout, "records:       %d\n", tr.NumRecords())
+	fmt.Fprintf(stdout, "iterations:    %d\n", tr.Iterations())
 
 	comp := tr.ComputeTimes()
 	sorted := append([]float64(nil), comp...)
 	sort.Float64s(sorted)
-	fmt.Printf("compute (s):   min %.4f  median %.4f  mean %.4f  max %.4f\n",
+	fmt.Fprintf(stdout, "compute (s):   min %.4f  median %.4f  mean %.4f  max %.4f\n",
 		stats.Min(comp), stats.Median(comp), stats.Mean(comp), stats.Max(comp))
 
 	ch, err := workload.Measure(tr, dimemas.DefaultPlatform(), dvfs.FMax)
 	if err != nil {
-		fatal(fmt.Errorf("replay failed: %w", err))
+		return fmt.Errorf("replay failed: %w", err)
 	}
-	fmt.Printf("exec time:     %.4f s (replayed at %.1f GHz on the default platform)\n", ch.Time, dvfs.FMax)
-	fmt.Printf("load balance:  %.2f%%\n", ch.LB*100)
-	fmt.Printf("parallel eff:  %.2f%%\n", ch.PE*100)
+	fmt.Fprintf(stdout, "exec time:     %.4f s (replayed at %.1f GHz on the default platform)\n", ch.Time, dvfs.FMax)
+	fmt.Fprintf(stdout, "load balance:  %.2f%%\n", ch.LB*100)
+	fmt.Fprintf(stdout, "parallel eff:  %.2f%%\n", ch.PE*100)
 
 	// Compact per-rank histogram of compute time relative to the maximum.
-	fmt.Println("\nper-rank computation (fraction of max):")
+	max := stats.Max(comp)
+	if max <= 0 {
+		return nil // nothing computes: no histogram to draw
+	}
+	fmt.Fprintln(stdout, "\nper-rank computation (fraction of max):")
 	const buckets = 10
 	hist := make([]int, buckets)
-	max := stats.Max(comp)
 	for _, c := range comp {
 		b := int(c / max * buckets)
 		if b >= buckets {
@@ -97,16 +120,11 @@ func main() {
 		hist[b]++
 	}
 	for b := 0; b < buckets; b++ {
-		barLen := hist[b]
-		bar := make([]byte, barLen)
+		bar := make([]byte, hist[b])
 		for i := range bar {
 			bar[i] = '*'
 		}
-		fmt.Printf("  %3d%%-%3d%%  %4d  %s\n", b*10, (b+1)*10, hist[b], string(bar))
+		fmt.Fprintf(stdout, "  %3d%%-%3d%%  %4d  %s\n", b*10, (b+1)*10, hist[b], string(bar))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "traceinfo:", err)
-	os.Exit(1)
+	return nil
 }

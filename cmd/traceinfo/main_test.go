@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/paraver"
+	"repro/internal/trace"
+)
+
+func microTrace() *trace.Trace {
+	tr := trace.New("micro", 4)
+	loads := []float64{1.0, 0.25, 0.25, 0.25}
+	for it := 0; it < 2; it++ {
+		for r, w := range loads {
+			tr.Add(r, trace.Compute(w))
+		}
+		for r := 0; r < 4; r++ {
+			tr.Add(r, trace.Coll(trace.CollBarrier, 0), trace.IterMark())
+		}
+	}
+	return tr
+}
+
+func writeFile(t *testing.T, name string, write func(f *os.File) error) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunNativeTrace(t *testing.T) {
+	path := writeFile(t, "micro.trace", func(f *os.File) error { return trace.Write(f, microTrace()) })
+	var out, errOut strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"application:   micro",
+		"ranks:         4",
+		"iterations:    2",
+		"load balance:  43.75%",
+		"per-rank computation",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunParaverTrace exercises the header-sniffing branch: a .prv file is
+// detected by its #Paraver magic and imported through the paraver reader.
+func TestRunParaverTrace(t *testing.T) {
+	path := writeFile(t, "micro.prv", func(f *os.File) error { return paraver.Write(f, microTrace()) })
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(head), "#Paraver") {
+		t.Fatalf("fixture is not a Paraver file: %.40q", head)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ranks:         4") {
+		t.Errorf("paraver import lost ranks:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "load balance:") {
+		t.Errorf("paraver branch skipped the replay:\n%s", out.String())
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	var text strings.Builder
+	if err := trace.Write(&text, microTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-"}, strings.NewReader(text.String()), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "application:   micro") {
+		t.Errorf("stdin output:\n%s", out.String())
+	}
+}
+
+func TestRunMalformedTraceFailsValidation(t *testing.T) {
+	// Parses fine but violates the matching rule: rank 0 sends to rank 1,
+	// which never receives.
+	tr := trace.New("broken", 2)
+	tr.Add(0, trace.Compute(1), trace.Send(1, 1024, 0))
+	tr.Add(1, trace.Compute(1))
+	path := writeFile(t, "broken.trace", func(f *os.File) error { return trace.Write(f, tr) })
+	var out, errOut strings.Builder
+	err := run([]string{path}, strings.NewReader(""), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("got %v, want a 'trace is malformed' error", err)
+	}
+}
+
+func TestRunHelpExitsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-h"}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatalf("-h should succeed after printing usage, got %v", err)
+	}
+	if !strings.Contains(errOut.String(), "usage: traceinfo") {
+		t.Errorf("usage missing from -h output:\n%s", errOut.String())
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	empty := writeFile(t, "empty.trace", func(*os.File) error { return nil })
+	garbage := writeFile(t, "garbage.trace", func(f *os.File) error {
+		_, err := f.WriteString("this is definitely not a trace\n")
+		return err
+	})
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"no args", []string{}, "expected exactly one trace file"},
+		{"two args", []string{garbage, garbage}, "expected exactly one trace file"},
+		{"missing file", []string{"/nonexistent/x.trace"}, "no such file"},
+		{"empty input", []string{empty}, "reading input"},
+		{"garbage input", []string{garbage}, "trace"},
+	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		err := run(tc.args, strings.NewReader(""), &out, &errOut)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

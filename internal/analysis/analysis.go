@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/dimemas"
@@ -31,9 +32,15 @@ type Config struct {
 	Set *dvfs.Set
 	// Algorithm selects MAX or AVG.
 	Algorithm core.Algorithm
-	// Beta is the memory-boundedness parameter (default 0.5 via
-	// DefaultBeta when negative).
+	// Beta is the memory-boundedness parameter in [0, 1]. The zero value
+	// selects the paper's default 0.5 (timemodel.DefaultBeta) unless
+	// BetaSet is true.
 	Beta float64
+	// BetaSet marks Beta as explicitly chosen, making an explicit Beta = 0
+	// (a fully memory-bound, frequency-insensitive run — legal in
+	// dimemas.Options) reach the simulator unrewritten instead of being
+	// treated as "unset" and defaulted to 0.5.
+	BetaSet bool
 	// FMax is the nominal top frequency (default dvfs.FMax when zero).
 	FMax float64
 	// RecordTimelines retains per-rank execution segments of both runs for
@@ -102,13 +109,14 @@ func (c *Config) normalize() error {
 	if c.Power == (power.Config{}) {
 		c.Power = power.DefaultConfig()
 	}
-	if c.Beta < 0 {
-		return fmt.Errorf("analysis: negative beta %v", c.Beta)
+	if c.Beta < 0 || c.Beta > 1 || math.IsNaN(c.Beta) {
+		return fmt.Errorf("analysis: beta %v outside [0, 1]", c.Beta)
 	}
-	if c.Beta == 0 {
-		// β = 0 is technically legal in the time model but means DVFS is
-		// free; every study in the paper uses β ≥ 0.3. Treat the zero value
-		// as "unset" for ergonomic configs.
+	if c.Beta == 0 && !c.BetaSet {
+		// β = 0 is legal in the time model but means DVFS is free; every
+		// study in the paper uses β ≥ 0.3. The bare zero value therefore
+		// reads as "unset" for ergonomic configs — callers who really want
+		// a fully memory-bound run say so with BetaSet.
 		c.Beta = timemodel.DefaultBeta
 	}
 	if c.FMax == 0 {

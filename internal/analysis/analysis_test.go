@@ -215,6 +215,54 @@ func TestBTMZEndToEnd(t *testing.T) {
 	}
 }
 
+// TestExplicitBetaZeroHonored is the regression test for the zero-vs-default
+// ambiguity: BetaSet must let an explicit β = 0 (fully memory-bound) reach
+// the simulator unrewritten instead of being silently replaced by 0.5.
+func TestExplicitBetaZeroHonored(t *testing.T) {
+	tr := imbalancedTrace(3)
+	set, err := dvfs.Uniform(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Trace: tr, Set: set, Algorithm: core.MAX, Beta: 0, BetaSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With β = 0 computation time is frequency-insensitive: the DVFS replay
+	// must match the original execution bit for bit even though every
+	// non-critical rank was down-geared to the set's bottom.
+	if res.New.Time != res.Orig.Time {
+		t.Errorf("β=0 DVFS time %v != original %v (β was rewritten on the way to the simulator)", res.New.Time, res.Orig.Time)
+	}
+	for r := 0; r < 4; r++ {
+		if res.Assignment.Gears[r].Freq != dvfs.FMin {
+			t.Errorf("rank %d gear = %v, want parked at the bottom under β=0", r, res.Assignment.Gears[r])
+		}
+	}
+	if res.New.Energy >= res.Orig.Energy {
+		t.Errorf("β=0 down-gearing should still save energy: new %v vs orig %v", res.New.Energy, res.Orig.Energy)
+	}
+
+	// The bare zero value keeps its ergonomic meaning: default 0.5, under
+	// which the critical rank must keep the top gear (β = 0 parks it at the
+	// bottom because computation no longer depends on frequency).
+	def, err := Run(Config{Trace: tr, Set: set, Algorithm: core.MAX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Assignment.Gears[0].Freq != dvfs.FMax {
+		t.Errorf("default-β critical rank gear = %v, want FMax", def.Assignment.Gears[0])
+	}
+	if def.New.Energy <= res.New.Energy {
+		t.Errorf("β=0 run should save more energy than the default-β run: %v vs %v", res.New.Energy, def.New.Energy)
+	}
+
+	// Out-of-range explicit betas still fail.
+	if _, err := Run(Config{Trace: tr, Set: set, Beta: 1.5, BetaSet: true}); err == nil {
+		t.Error("beta > 1 should fail")
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	tr := imbalancedTrace(1)
 	res, err := Run(Config{Trace: tr, Set: dvfs.ContinuousUnlimited()})

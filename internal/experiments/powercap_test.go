@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPowercapSweep is the experiment-level golden check of the acceptance
+// criteria: on the imbalanced WRF-128 instance every row's scheduled peak
+// stays under its cap and the redistribution policy beats uniform downshift
+// on execution time wherever the cap actually binds.
+func TestPowercapSweep(t *testing.T) {
+	rows, err := sharedSuite.PowercapSweep("WRF-128", DefaultPowercapFracs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("%d cap points, want >= 8", len(rows))
+	}
+	beaten := 0
+	for _, r := range rows {
+		if r.Peak > r.Cap {
+			t.Errorf("cap %.0f%%: scheduled peak %v exceeds cap %v", r.CapFrac*100, r.Peak, r.Cap)
+		}
+		if r.RedTime > r.UniTime {
+			t.Errorf("cap %.0f%%: redistribution time %v worse than uniform %v", r.CapFrac*100, r.RedTime, r.UniTime)
+		}
+		if r.RedTime < r.UniTime {
+			beaten++
+		}
+		if r.UniTime < 1 || r.RedTime < 1 {
+			t.Errorf("cap %.0f%%: capped run beat the uncapped one (%v / %v)", r.CapFrac*100, r.UniTime, r.RedTime)
+		}
+		if r.Evaluations == 0 {
+			t.Errorf("cap %.0f%%: no exact candidate evaluations", r.CapFrac*100)
+		}
+	}
+	if beaten == 0 {
+		t.Error("redistribution never strictly beat uniform on WRF-128")
+	}
+	// Tighter caps never run faster (uniform policy is monotone by
+	// construction: fewer feasible levels).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].UniTime > rows[i-1].UniTime+1e-9 {
+			t.Errorf("uniform time not monotone: cap %.0f%% slower than %.0f%%", rows[i].CapFrac*100, rows[i-1].CapFrac*100)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := PowercapTable("WRF-128", rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T redistr", "peak (W)", "evals"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

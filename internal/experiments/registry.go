@@ -163,6 +163,9 @@ func All() []Experiment {
 		{"optimize-gears", "Extension: coordinate-descent gear placement search", func(s *Suite, w io.Writer) error {
 			return s.OptimizeGears(w)
 		}},
+		{"powercap", "Extension: budget-constrained gear scheduling (cap sweep)", func(s *Suite, w io.Writer) error {
+			return s.PowercapStudy(w)
+		}},
 	}
 }
 

@@ -40,7 +40,10 @@ type Config struct {
 	Platform dimemas.Platform
 	Power    power.Config
 	Beta     float64
-	FMax     float64
+	// BetaSet marks Beta as explicitly chosen, so an explicit Beta = 0
+	// is honored instead of defaulting to 0.5 (see analysis.Config).
+	BetaSet bool
+	FMax    float64
 	// Grid is the frequency step of the search lattice (default 0.05 GHz).
 	Grid float64
 	// MaxRounds bounds the coordinate-descent rounds (default 8).
@@ -110,7 +113,7 @@ func (cfg *Config) normalize() error {
 	if cfg.Power == (power.Config{}) {
 		cfg.Power = power.DefaultConfig()
 	}
-	if cfg.Beta == 0 {
+	if cfg.Beta == 0 && !cfg.BetaSet {
 		cfg.Beta = timemodel.DefaultBeta
 	}
 	if cfg.FMax == 0 {
@@ -327,6 +330,7 @@ func fullScore(cfg Config, set *dvfs.Set) (float64, error) {
 				Set:       set,
 				Algorithm: core.MAX,
 				Beta:      cfg.Beta,
+				BetaSet:   cfg.BetaSet,
 				FMax:      cfg.FMax,
 				Cache:     cfg.Cache,
 				Ctx:       cfg.Ctx,

@@ -33,8 +33,12 @@ type Config struct {
 	Set *dvfs.Set
 	// Power configures the CPU power model; zero value = paper baseline.
 	Power power.Config
-	// Beta is the memory-boundedness parameter (0 = DefaultBeta).
+	// Beta is the memory-boundedness parameter (0 = DefaultBeta unless
+	// BetaSet).
 	Beta float64
+	// BetaSet marks Beta as explicitly chosen, so an explicit Beta = 0
+	// is honored instead of defaulting to 0.5 (see analysis.Config).
+	BetaSet bool
 	// FMax is the nominal top frequency (0 = dvfs.FMax).
 	FMax float64
 	// SlackDown is the relative-slack fraction (a node's slack minus the
@@ -90,7 +94,7 @@ func (c *Config) normalize() error {
 	if c.Power == (power.Config{}) {
 		c.Power = power.DefaultConfig()
 	}
-	if c.Beta == 0 {
+	if c.Beta == 0 && !c.BetaSet {
 		c.Beta = timemodel.DefaultBeta
 	}
 	if c.Beta < 0 || c.Beta > 1 {

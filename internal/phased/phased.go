@@ -38,7 +38,10 @@ type Config struct {
 	// algorithm is a MAX variant).
 	Set  *dvfs.Set
 	Beta float64
-	FMax float64
+	// BetaSet marks Beta as explicitly chosen, so an explicit Beta = 0
+	// is honored instead of defaulting to 0.5 (see analysis.Config).
+	BetaSet bool
+	FMax    float64
 	// Cache optionally memoizes the original (all-ranks-at-FMax) replay so
 	// per-phase studies sharing traces with other pipelines skip it. Nil
 	// means uncached.
@@ -75,7 +78,7 @@ func (c *Config) normalize() error {
 	if c.Power == (power.Config{}) {
 		c.Power = power.DefaultConfig()
 	}
-	if c.Beta == 0 {
+	if c.Beta == 0 && !c.BetaSet {
 		c.Beta = timemodel.DefaultBeta
 	}
 	if c.Beta < 0 || c.Beta > 1 {

@@ -1,0 +1,159 @@
+package power
+
+// Time-resolved cluster power: the paper (and everything built so far)
+// accounts *energy*, a time integral. Power-cap scheduling needs the
+// integrand — the instantaneous cluster power draw over the run. With one
+// gear per rank and the two-phase activity model, each rank's power is a
+// two-valued function of time (compute power during computation bursts,
+// communication power everywhere else, including blocked and idle-tail
+// time, matching the energy accounting in EnergyBreakdown), so the cluster
+// total is a step function whose breakpoints are the compute-segment
+// boundaries of the replayed timeline.
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+)
+
+// ProfileStep is one constant-power interval of a cluster power profile.
+type ProfileStep struct {
+	Start, End float64
+	Power      float64 // model units (same scale as Model.Power)
+}
+
+// Profile is the cluster's power draw over one replayed execution as a step
+// function on [0, Duration]. Build it with BuildProfile; it is immutable
+// afterwards.
+type Profile struct {
+	steps  []ProfileStep // contiguous, non-empty widths, covering [0, end]
+	end    float64
+	peak   float64
+	energy float64
+}
+
+// BuildProfile derives the cluster power profile of one replayed execution:
+// timelines are the per-rank segments of a dimemas.Result recorded with
+// RecordTimeline, gears the per-rank operating points the run was replayed
+// at, and until the accounting horizon (normally Result.Time). Every rank
+// draws m.Power(Comm, gear) for the whole horizon except during its compute
+// segments, where it draws m.Power(Compute, gear) — the same decomposition
+// EnergyBreakdown integrates, so Profile.Energy() equals the energy of the
+// equivalent Usage rows up to summation order.
+func BuildProfile(m *Model, timelines [][]dimemas.Segment, gears []dvfs.Gear, until float64) (*Profile, error) {
+	if len(timelines) == 0 {
+		return nil, fmt.Errorf("power: profile needs at least one rank timeline")
+	}
+	if len(gears) != len(timelines) {
+		return nil, fmt.Errorf("power: %d gears for %d rank timelines", len(gears), len(timelines))
+	}
+	if until <= 0 {
+		return nil, fmt.Errorf("power: profile horizon must be positive, got %v", until)
+	}
+
+	// Baseline: every rank communicating for the whole horizon. Compute
+	// segments overlay the (computeP − commP) delta; comm segments change
+	// nothing, so only compute boundaries become events.
+	type event struct {
+		t     float64
+		delta float64
+	}
+	nseg := 0
+	for _, tl := range timelines {
+		nseg += len(tl)
+	}
+	events := make([]event, 0, 2*nseg)
+	base := 0.0
+	for r, g := range gears {
+		if g.Freq <= 0 || g.Volt <= 0 {
+			return nil, fmt.Errorf("power: rank %d has invalid gear %v", r, g)
+		}
+		base += m.Power(Comm, g)
+		delta := m.Power(Compute, g) - m.Power(Comm, g)
+		for _, seg := range timelines[r] {
+			if seg.Start < 0 || seg.End < seg.Start || seg.End > until {
+				return nil, fmt.Errorf("power: rank %d has segment [%v, %v] outside [0, %v]", r, seg.Start, seg.End, until)
+			}
+			if seg.State != dimemas.StateCompute || seg.End == seg.Start {
+				continue
+			}
+			events = append(events, event{seg.Start, delta}, event{seg.End, -delta})
+		}
+	}
+	slices.SortFunc(events, func(a, b event) int { return cmp.Compare(a.t, b.t) })
+
+	p := &Profile{end: until, steps: make([]ProfileStep, 0, len(events)+1)}
+	cur := base
+	prev := 0.0
+	flush := func(to float64) {
+		if to > prev {
+			p.steps = append(p.steps, ProfileStep{Start: prev, End: to, Power: cur})
+			p.energy += cur * (to - prev)
+			if cur > p.peak {
+				p.peak = cur
+			}
+			prev = to
+		}
+	}
+	for i := 0; i < len(events); {
+		t := events[i].t
+		flush(t)
+		// Apply every event at this breakpoint before emitting the next
+		// step, so zero-width bursts cancel instead of spiking.
+		for ; i < len(events) && events[i].t == t; i++ {
+			cur += events[i].delta
+		}
+	}
+	flush(until)
+	return p, nil
+}
+
+// Duration returns the profile's horizon.
+func (p *Profile) Duration() float64 { return p.end }
+
+// Peak returns the maximum instantaneous cluster power.
+func (p *Profile) Peak() float64 { return p.peak }
+
+// Energy returns the integral of the profile over its horizon.
+func (p *Profile) Energy() float64 { return p.energy }
+
+// Average returns the time-averaged cluster power (energy / duration).
+func (p *Profile) Average() float64 { return p.energy / p.end }
+
+// Steps returns a copy of the step function (for rendering and tests).
+func (p *Profile) Steps() []ProfileStep {
+	out := make([]ProfileStep, len(p.steps))
+	copy(out, p.steps)
+	return out
+}
+
+// At returns the cluster power at time t; times outside [0, Duration)
+// return 0 (the cluster draws nothing outside the accounted run, and the
+// profile is right-open so At(Duration) is already "after the run").
+func (p *Profile) At(t float64) float64 {
+	if t < 0 || t >= p.end {
+		return 0
+	}
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].End > t })
+	if i == len(p.steps) {
+		return 0
+	}
+	return p.steps[i].Power
+}
+
+// TimeAbove returns the total time the cluster draws strictly more than cap
+// — the exceedance of an average-mode cap, zero for any peak-mode cap the
+// schedule satisfies.
+func (p *Profile) TimeAbove(cap float64) float64 {
+	var total float64
+	for _, s := range p.steps {
+		if s.Power > cap {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}

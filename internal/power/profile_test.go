@@ -1,0 +1,154 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+)
+
+// twoRankFixture is the hand-computed profile case: rank 0 computes for 2 s
+// then communicates 1 s; rank 1 computes 1 s and is blocked/idle for the
+// remaining 2 s (left as a timeline gap on purpose — gaps must count as
+// communication-phase power, exactly like the energy accounting).
+func twoRankFixture(t *testing.T) (*Model, [][]dimemas.Segment, []dvfs.Gear) {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timelines := [][]dimemas.Segment{
+		{
+			{Start: 0, End: 2, State: dimemas.StateCompute},
+			{Start: 2, End: 3, State: dimemas.StateComm},
+		},
+		{
+			{Start: 0, End: 1, State: dimemas.StateCompute},
+		},
+	}
+	gears := []dvfs.Gear{dvfs.GearAt(dvfs.FMax), dvfs.GearAt(dvfs.FMin)}
+	return m, timelines, gears
+}
+
+func TestBuildProfileTwoRanksHandComputed(t *testing.T) {
+	m, timelines, gears := twoRankFixture(t)
+	p, err := BuildProfile(m, timelines, gears, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c0, c1 := m.Power(Compute, gears[0]), m.Power(Compute, gears[1])
+	m0, m1 := m.Power(Comm, gears[0]), m.Power(Comm, gears[1])
+	want := []ProfileStep{
+		{Start: 0, End: 1, Power: c0 + c1}, // both ranks computing
+		{Start: 1, End: 2, Power: c0 + m1}, // rank 1 idle from t=1
+		{Start: 2, End: 3, Power: m0 + m1}, // rank 0 communicating
+	}
+	steps := p.Steps()
+	if len(steps) != len(want) {
+		t.Fatalf("got %d steps %v, want %d", len(steps), steps, len(want))
+	}
+	for i, w := range want {
+		g := steps[i]
+		if g.Start != w.Start || g.End != w.End || math.Abs(g.Power-w.Power) > 1e-12 {
+			t.Errorf("step %d = %+v, want %+v", i, g, w)
+		}
+	}
+
+	if got := p.Peak(); math.Abs(got-(c0+c1)) > 1e-12 {
+		t.Errorf("peak = %v, want %v", got, c0+c1)
+	}
+	wantEnergy := (c0+c1)*1 + (c0+m1)*1 + (m0+m1)*1
+	if math.Abs(p.Energy()-wantEnergy) > 1e-12 {
+		t.Errorf("energy = %v, want %v", p.Energy(), wantEnergy)
+	}
+	if math.Abs(p.Average()-wantEnergy/3) > 1e-12 {
+		t.Errorf("average = %v, want %v", p.Average(), wantEnergy/3)
+	}
+	if p.Duration() != 3 {
+		t.Errorf("duration = %v", p.Duration())
+	}
+
+	// Point lookups, including out-of-range times.
+	for _, tc := range []struct{ at, want float64 }{
+		{0, c0 + c1}, {0.5, c0 + c1}, {1, c0 + m1}, {1.99, c0 + m1},
+		{2.5, m0 + m1}, {-0.1, 0}, {3, 0}, {99, 0},
+	} {
+		if got := p.At(tc.at); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+
+	// Exceedance: strictly above the final (lowest) step for 2 s, above the
+	// peak for 0 s.
+	if got := p.TimeAbove(m0 + m1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("TimeAbove(comm floor) = %v, want 2", got)
+	}
+	if got := p.TimeAbove(p.Peak()); got != 0 {
+		t.Errorf("TimeAbove(peak) = %v, want 0", got)
+	}
+}
+
+// TestProfileEnergyMatchesBreakdown pins the core consistency property: the
+// profile integrates to the same CPU energy the per-rank Usage accounting
+// produces, so average cluster power is exactly energy/time.
+func TestProfileEnergyMatchesBreakdown(t *testing.T) {
+	m, timelines, gears := twoRankFixture(t)
+	p, err := BuildProfile(m, timelines, gears, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := []Usage{
+		{Gear: gears[0], ComputeTime: 2, CommTime: 1},
+		{Gear: gears[1], ComputeTime: 1, CommTime: 2},
+	}
+	e, err := m.Energy(usage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Energy()-e) > 1e-9 {
+		t.Errorf("profile energy %v != usage energy %v", p.Energy(), e)
+	}
+}
+
+func TestBuildProfileZeroWidthBurstDoesNotSpike(t *testing.T) {
+	m, timelines, gears := twoRankFixture(t)
+	// A zero-duration compute record at t=2.5 must cancel, not lift the peak.
+	timelines[1] = append(timelines[1], dimemas.Segment{Start: 2.5, End: 2.5, State: dimemas.StateCompute})
+	p, err := BuildProfile(m, timelines, gears, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := m.Power(Compute, gears[0]), m.Power(Compute, gears[1])
+	if math.Abs(p.Peak()-(c0+c1)) > 1e-12 {
+		t.Errorf("peak = %v, want %v (zero-width burst must not register)", p.Peak(), c0+c1)
+	}
+	if len(p.Steps()) != 3 {
+		t.Errorf("steps = %v, want 3 merged intervals", p.Steps())
+	}
+}
+
+func TestBuildProfileValidation(t *testing.T) {
+	m, timelines, gears := twoRankFixture(t)
+	if _, err := BuildProfile(m, nil, nil, 3); err == nil {
+		t.Error("empty timelines should fail")
+	}
+	if _, err := BuildProfile(m, timelines, gears[:1], 3); err == nil {
+		t.Error("gear-count mismatch should fail")
+	}
+	if _, err := BuildProfile(m, timelines, gears, 0); err == nil {
+		t.Error("non-positive horizon should fail")
+	}
+	if _, err := BuildProfile(m, timelines, gears, 2.5); err == nil {
+		t.Error("segment beyond the horizon should fail")
+	}
+	bad := []dvfs.Gear{{Freq: 0, Volt: 1}, gears[1]}
+	if _, err := BuildProfile(m, timelines, bad, 3); err == nil {
+		t.Error("invalid gear should fail")
+	}
+	neg := [][]dimemas.Segment{{{Start: -1, End: 1, State: dimemas.StateCompute}}, nil}
+	if _, err := BuildProfile(m, neg, gears, 3); err == nil {
+		t.Error("negative segment start should fail")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dimemas"
 	"repro/internal/gearopt"
+	"repro/internal/powercap"
 	"repro/internal/trace"
 )
 
@@ -66,7 +67,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		opts, err := normalizeOptions(dimemas.Options{Beta: req.Beta, FMax: req.FMax, Ctx: ctx})
+		opts, err := normalizeOptions(req.Beta, req.FMax, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -113,13 +114,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		beta, betaSet := betaArg(req.Beta)
 		res, err := analysis.Run(analysis.Config{
 			Trace:     tr,
 			Platform:  s.platform,
 			Power:     s.power,
 			Set:       set,
 			Algorithm: algo,
-			Beta:      req.Beta,
+			Beta:      beta,
+			BetaSet:   betaSet,
 			FMax:      req.FMax,
 			Cache:     s.cacheFor(nil, req.Trace),
 			Ctx:       ctx,
@@ -159,6 +162,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		// batch's items — through a request-local cache rather than the
 		// daemon's LRU, whose entries it could never hit again.
 		cache := s.cacheFor(dimemas.NewReplayCache, req.Trace)
+		beta, betaSet := betaArg(req.Beta)
 		out := &AnalyzeBatchResponse{App: tr.App, Results: make([]AnalyzeResponse, 0, len(req.Items))}
 		for i, item := range req.Items {
 			// Even all-warm-cache items cost an assignment + retiming each;
@@ -180,7 +184,8 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 				Power:     s.power,
 				Set:       set,
 				Algorithm: algo,
-				Beta:      req.Beta,
+				Beta:      beta,
+				BetaSet:   betaSet,
 				FMax:      req.FMax,
 				Cache:     cache,
 				Ctx:       ctx,
@@ -225,12 +230,14 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 		if ngears > MaxGears {
 			return nil, errGearCount(ngears)
 		}
+		beta, betaSet := betaArg(req.Beta)
 		res, err := gearopt.Optimize(gearopt.Config{
 			Traces:    traces,
 			NGears:    ngears,
 			Platform:  s.platform,
 			Power:     s.power,
-			Beta:      req.Beta,
+			Beta:      beta,
+			BetaSet:   betaSet,
 			FMax:      req.FMax,
 			Grid:      req.Grid,
 			MaxRounds: req.MaxRounds,
@@ -244,6 +251,62 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return NewGearOptResponse(res), nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePowercap schedules gears under a cluster power budget. Candidate
+// schedules are scored by retiming the shared timing skeleton, so repeated
+// cap queries over the same workload (a client-side cap sweep) pay for the
+// skeleton and the baseline exactly once.
+func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
+	var req PowercapRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*PowercapResponse, error) {
+		kind, err := parseCapKind(req.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if req.MaxMoves < 0 || req.MaxMoves > MaxPowercapMoves {
+			return nil, errPowercapMoves(req.MaxMoves)
+		}
+		set, err := req.GearSet.set()
+		if err != nil {
+			return nil, err
+		}
+		tr, err := s.traceFor(ctx, req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		beta, betaSet := betaArg(req.Beta)
+		res, err := powercap.Run(powercap.Config{
+			Trace:    tr,
+			Platform: s.platform,
+			Power:    s.power,
+			Set:      set,
+			Cap:      req.Cap,
+			Kind:     kind,
+			Beta:     beta,
+			BetaSet:  betaSet,
+			FMax:     req.FMax,
+			MaxMoves: req.MaxMoves,
+			// Inline traces share their skeleton within the request only;
+			// generated workloads hit the daemon's LRU.
+			Cache: s.cacheFor(dimemas.NewReplayCache, req.Trace),
+			Ctx:   ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewPowercapResponse(res), nil
 	})
 	if err != nil {
 		finishErr(s, w, err)

@@ -10,6 +10,7 @@
 //	POST /v1/analyze       — MAX/AVG policy analysis with energy metrics
 //	POST /v1/analyze/batch — N gear assignments retimed off one skeleton
 //	POST /v1/gearopt       — gear-placement search over a workload list
+//	POST /v1/powercap      — gear scheduling under a cluster power budget
 //	POST /v1/tracegen      — generate a Table 3 synthetic workload
 //	GET  /v1/apps          — list the Table 3 instances
 //	GET  /healthz          — liveness
@@ -155,6 +156,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/analyze", s.limited("/v1/analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.limited("/v1/analyze/batch", s.handleAnalyzeBatch))
 	s.mux.HandleFunc("POST /v1/gearopt", s.limited("/v1/gearopt", s.handleGearOpt))
+	s.mux.HandleFunc("POST /v1/powercap", s.limited("/v1/powercap", s.handlePowercap))
 	s.mux.HandleFunc("POST /v1/tracegen", s.limited("/v1/tracegen", s.handleTracegen))
 }
 

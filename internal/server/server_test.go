@@ -20,6 +20,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/gearopt"
 	"repro/internal/power"
+	"repro/internal/powercap"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -27,6 +28,9 @@ import (
 
 // testSpec is the small, fast workload most tests run against.
 var testSpec = TraceSpec{App: "IS-32", Iterations: 3, Quick: true}
+
+// betaPtr builds the optional wire form of an explicit beta.
+func betaPtr(b float64) *float64 { return &b }
 
 // genTestTrace builds the library-side equivalent of testSpec-style specs.
 func genTestTrace(t testing.TB, spec TraceSpec) *trace.Trace {
@@ -120,7 +124,7 @@ func TestReplayByteIdenticalToLibrary(t *testing.T) {
 	for i := range freqs {
 		freqs[i] = 1.4
 	}
-	code, got = postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, Beta: 0.3})
+	code, got = postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, Beta: betaPtr(0.3)})
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, got)
 	}
@@ -431,6 +435,13 @@ func TestValidationErrors(t *testing.T) {
 		{"gearopt no traces", "/v1/gearopt", `{}`},
 		{"tracegen inline text", "/v1/tracegen", `{"trace": {"text": "x"}}`},
 		{"malformed json", "/v1/analyze", `{"trace":`},
+		{"powercap no cap", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}}`},
+		{"powercap negative cap", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": -5}`},
+		{"powercap bad kind", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100, "kind": "rms"}`},
+		{"powercap continuous set", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100, "gear_set": {"kind": "continuous-limited"}}`},
+		{"powercap moves out of range", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100, "max_moves": 99999999}`},
+		{"powercap infeasible cap", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 0.001}`},
+		{"powercap beta above one", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100, "beta": 2}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
@@ -539,7 +550,7 @@ func TestAnalyzeBatchByteIdenticalToLibrary(t *testing.T) {
 		{Algorithm: "AVG", GearSet: GearSetSpec{Kind: "uniform", Overclock: true}},
 		{Algorithm: "MAX", GearSet: GearSetSpec{Kind: "continuous-limited"}},
 	}
-	code, got := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{Trace: testSpec, Items: items, Beta: 0.4})
+	code, got := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{Trace: testSpec, Items: items, Beta: betaPtr(0.4)})
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, got)
 	}
@@ -774,5 +785,86 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	var resp ReplayResponse
 	if err := json.Unmarshal(r.body, &resp); err != nil || resp.Ranks != 64 {
 		t.Fatalf("in-flight response truncated by shutdown: %s", r.body)
+	}
+}
+
+func TestPowercapByteIdenticalToLibrary(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := PowercapRequest{
+		Trace:   testSpec,
+		GearSet: GearSetSpec{Kind: "uniform"},
+		Cap:     0.6 * 32 * 9.703125, // 60% of the all-compute peak of 32 ranks
+		Kind:    "peak",
+	}
+	code, got := postJSON(t, ts.URL+"/v1/powercap", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	tr := genTestTrace(t, testSpec)
+	six, err := dvfs.Uniform(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := powercap.Run(powercap.Config{
+		Trace:    tr,
+		Platform: dimemas.DefaultPlatform(),
+		Power:    power.DefaultConfig(),
+		Set:      six,
+		Cap:      req.Cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewPowercapResponse(res)); !bytes.Equal(got, want) {
+		t.Fatalf("powercap response differs from library call\n got: %s\nwant: %s", got, want)
+	}
+	var resp PowercapResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Uniform.PeakPower > req.Cap || resp.Redistributed.PeakPower > req.Cap {
+		t.Errorf("scheduled peaks %v / %v exceed the cap %v", resp.Uniform.PeakPower, resp.Redistributed.PeakPower, req.Cap)
+	}
+	if resp.Redistributed.Time > resp.Uniform.Time {
+		t.Errorf("redistribution %v worse than uniform %v", resp.Redistributed.Time, resp.Uniform.Time)
+	}
+	// A second identical request hits the shared skeleton and baselines.
+	misses := s.Cache().Stats().Misses
+	if code, _ := postJSON(t, ts.URL+"/v1/powercap", req); code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	if st := s.Cache().Stats(); st.Misses != misses {
+		t.Errorf("second powercap request added %d cache misses, want 0", st.Misses-misses)
+	}
+}
+
+// TestExplicitBetaZeroOverTheWire is the serving half of the Beta regression
+// test: a JSON body carrying "beta": 0 must reach the simulator as β = 0
+// (frequency-insensitive compute), not be rewritten to the 0.5 default.
+func TestExplicitBetaZeroOverTheWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := genTestTrace(t, testSpec)
+	freqs := make([]float64, tr.NumRanks())
+	for i := range freqs {
+		freqs[i] = 1.1
+	}
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, Beta: betaPtr(0)})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	want, err := dimemas.Simulate(tr, dimemas.DefaultPlatform(), dimemas.Options{Beta: 0, FMax: dvfs.FMax, Freqs: freqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBytes := wire(t, NewReplayResponse(tr.App, want)); !bytes.Equal(got, wantBytes) {
+		t.Fatalf("explicit beta=0 replay differs from the β=0 library call\n got: %s\nwant: %s", got, wantBytes)
+	}
+	// And the β=0 replay is genuinely different from the defaulted one.
+	base, err := dimemas.Simulate(tr, dimemas.DefaultPlatform(), dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax, Freqs: freqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Time == want.Time {
+		t.Fatal("test is vacuous: β=0 and β=0.5 replays coincide")
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/dimemas"
 	"repro/internal/dvfs"
 	"repro/internal/gearopt"
+	"repro/internal/powercap"
 	"repro/internal/timemodel"
 	"repro/internal/workload"
 )
@@ -30,6 +32,9 @@ const (
 	MaxGearOptTraces = 16
 	// MaxBatchItems bounds the gear assignments of one batched analysis.
 	MaxBatchItems = 64
+	// MaxPowercapMoves bounds the refinement budget of one power-cap
+	// scheduling request.
+	MaxPowercapMoves = 16384
 )
 
 // TraceSpec selects the trace a request operates on: either an inline trace
@@ -167,8 +172,9 @@ type ReplayRequest struct {
 	// Freqs is the per-rank frequency (GHz); empty means every rank at FMax
 	// (the memoized baseline replay).
 	Freqs []float64 `json:"freqs,omitempty"`
-	// Beta is the memory-boundedness parameter (default 0.5).
-	Beta float64 `json:"beta,omitempty"`
+	// Beta is the memory-boundedness parameter. Absent means the paper's
+	// default 0.5; an explicit 0 requests a fully memory-bound replay.
+	Beta *float64 `json:"beta,omitempty"`
 	// FMax is the nominal top frequency (default 2.3 GHz).
 	FMax float64 `json:"fmax,omitempty"`
 }
@@ -201,8 +207,10 @@ type AnalyzeRequest struct {
 	// Algorithm selects the balancing policy: "MAX" (default) or "AVG".
 	Algorithm string      `json:"algorithm,omitempty"`
 	GearSet   GearSetSpec `json:"gear_set"`
-	Beta      float64     `json:"beta,omitempty"`
-	FMax      float64     `json:"fmax,omitempty"`
+	// Beta is the memory-boundedness parameter. Absent means the paper's
+	// default 0.5; an explicit 0 requests a fully memory-bound run.
+	Beta *float64 `json:"beta,omitempty"`
+	FMax float64  `json:"fmax,omitempty"`
 }
 
 // RunStatsBody is one simulated execution's cost on the wire.
@@ -279,9 +287,10 @@ type AnalyzeBatchRequest struct {
 	Trace TraceSpec          `json:"trace"`
 	Items []AnalyzeBatchItem `json:"items"`
 	// Beta and FMax are shared by every item (they parameterize the
-	// skeleton the batch retimes).
-	Beta float64 `json:"beta,omitempty"`
-	FMax float64 `json:"fmax,omitempty"`
+	// skeleton the batch retimes). Absent beta means the default 0.5; an
+	// explicit 0 is honored.
+	Beta *float64 `json:"beta,omitempty"`
+	FMax float64  `json:"fmax,omitempty"`
 }
 
 // AnalyzeBatchResponse is the body of a successful POST /v1/analyze/batch.
@@ -300,9 +309,11 @@ type GearOptRequest struct {
 	// Grid is the search lattice step in GHz (default 0.05).
 	Grid float64 `json:"grid,omitempty"`
 	// MaxRounds bounds the coordinate-descent rounds (default 8).
-	MaxRounds int     `json:"max_rounds,omitempty"`
-	Beta      float64 `json:"beta,omitempty"`
-	FMax      float64 `json:"fmax,omitempty"`
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Beta is the memory-boundedness parameter. Absent means the paper's
+	// default 0.5; an explicit 0 is honored.
+	Beta *float64 `json:"beta,omitempty"`
+	FMax float64  `json:"fmax,omitempty"`
 }
 
 // GearOptResponse is the body of a successful POST /v1/gearopt.
@@ -378,6 +389,100 @@ type TracegenResponse struct {
 	Trace string `json:"trace"`
 }
 
+// PowercapRequest is the body of POST /v1/powercap: schedule per-rank gears
+// under a cluster power budget with both the uniform-downshift baseline and
+// the load-aware redistribution policy.
+type PowercapRequest struct {
+	Trace TraceSpec `json:"trace"`
+	// GearSet must describe a discrete set (uniform/exponential/custom).
+	GearSet GearSetSpec `json:"gear_set"`
+	// Cap is the cluster power budget in model units (required, > 0).
+	Cap float64 `json:"cap"`
+	// Kind selects what the budget bounds: "peak" (default) or "average".
+	Kind string `json:"kind,omitempty"`
+	// MaxMoves bounds the redistribution refinement loop (default 4×ranks).
+	MaxMoves int `json:"max_moves,omitempty"`
+	// Beta is the memory-boundedness parameter. Absent means the paper's
+	// default 0.5; an explicit 0 is honored.
+	Beta *float64 `json:"beta,omitempty"`
+	FMax float64  `json:"fmax,omitempty"`
+}
+
+// PowercapScheduleBody is one policy's schedule on the wire.
+type PowercapScheduleBody struct {
+	Policy         string    `json:"policy"`
+	Freqs          []float64 `json:"freqs"`
+	Time           float64   `json:"time"`
+	Energy         float64   `json:"energy"`
+	PeakPower      float64   `json:"peak_power"`
+	AveragePower   float64   `json:"average_power"`
+	OverCapSeconds float64   `json:"over_cap_seconds"`
+	NormTime       float64   `json:"norm_time"`
+	NormEnergy     float64   `json:"norm_energy"`
+}
+
+// PowercapRefBody is the uncapped reference execution on the wire.
+type PowercapRefBody struct {
+	Time         float64 `json:"time"`
+	Energy       float64 `json:"energy"`
+	PeakPower    float64 `json:"peak_power"`
+	AveragePower float64 `json:"average_power"`
+}
+
+// PowercapResponse is the body of a successful POST /v1/powercap.
+type PowercapResponse struct {
+	App           string               `json:"app"`
+	Cap           float64              `json:"cap"`
+	Kind          string               `json:"kind"`
+	Uncapped      PowercapRefBody      `json:"uncapped"`
+	Uniform       PowercapScheduleBody `json:"uniform"`
+	Redistributed PowercapScheduleBody `json:"redistributed"`
+	Evaluations   int                  `json:"evaluations"`
+}
+
+// NewPowercapResponse builds the wire form of a power-cap scheduling result.
+func NewPowercapResponse(res *powercap.Result) *PowercapResponse {
+	sched := func(s powercap.Schedule) PowercapScheduleBody {
+		return PowercapScheduleBody{
+			Policy:         s.Policy.String(),
+			Freqs:          s.Freqs(),
+			Time:           s.Time,
+			Energy:         s.Energy,
+			PeakPower:      s.PeakPower,
+			AveragePower:   s.AveragePower,
+			OverCapSeconds: s.OverCapSeconds,
+			NormTime:       s.NormTime,
+			NormEnergy:     s.NormEnergy,
+		}
+	}
+	return &PowercapResponse{
+		App:  res.App,
+		Cap:  res.Cap,
+		Kind: res.Kind.String(),
+		Uncapped: PowercapRefBody{
+			Time:         res.Uncapped.Time,
+			Energy:       res.Uncapped.Energy,
+			PeakPower:    res.Uncapped.PeakPower,
+			AveragePower: res.Uncapped.AveragePower,
+		},
+		Uniform:       sched(res.Uniform),
+		Redistributed: sched(res.Redistributed),
+		Evaluations:   res.Evaluations,
+	}
+}
+
+// parseCapKind maps the wire name onto the budget kind.
+func parseCapKind(s string) (powercap.CapKind, error) {
+	switch strings.ToLower(s) {
+	case "peak", "":
+		return powercap.CapPeak, nil
+	case "average", "avg":
+		return powercap.CapAverage, nil
+	default:
+		return 0, fmt.Errorf("kind: unknown %q (want peak or average)", s)
+	}
+}
+
 // ErrorBody is the JSON error envelope of every non-2xx response.
 type ErrorBody struct {
 	Error string `json:"error"`
@@ -402,18 +507,34 @@ func errBatchCount(got int) error {
 	return fmt.Errorf("items: need 1..%d gear assignments, got %d", MaxBatchItems, got)
 }
 
-// normalizeOptions applies the same zero-value defaults the analysis
-// pipeline uses, so a bare replay request and an analyze request replay the
-// identical baseline (and therefore share a cache entry).
-func normalizeOptions(o dimemas.Options) (dimemas.Options, error) {
-	if o.Beta < 0 {
-		return o, fmt.Errorf("beta: must be non-negative, got %v", o.Beta)
+func errPowercapMoves(got int) error {
+	return fmt.Errorf("max_moves: must be in [0, %d], got %d", MaxPowercapMoves, got)
+}
+
+// betaArg unpacks an optional wire beta into the (value, explicit) pair the
+// pipeline configs take: absent means "use the default", an explicit 0 means
+// a fully memory-bound β = 0 run.
+func betaArg(b *float64) (beta float64, set bool) {
+	if b == nil {
+		return 0, false
+	}
+	return *b, true
+}
+
+// normalizeOptions applies the same defaults the analysis pipeline uses, so
+// a bare replay request and an analyze request replay the identical baseline
+// (and therefore share a cache entry). An absent beta means the paper's 0.5;
+// an explicit beta — including 0 — reaches the simulator unrewritten.
+func normalizeOptions(beta *float64, fmax float64, ctx context.Context) (dimemas.Options, error) {
+	o := dimemas.Options{Beta: timemodel.DefaultBeta, FMax: fmax, Ctx: ctx}
+	if beta != nil {
+		if *beta < 0 || *beta > 1 {
+			return o, fmt.Errorf("beta: must be in [0, 1], got %v", *beta)
+		}
+		o.Beta = *beta
 	}
 	if o.FMax < 0 {
 		return o, fmt.Errorf("fmax: must be non-negative, got %v", o.FMax)
-	}
-	if o.Beta == 0 {
-		o.Beta = timemodel.DefaultBeta
 	}
 	if o.FMax == 0 {
 		o.FMax = dvfs.FMax
