@@ -16,6 +16,7 @@ import (
 	"repro/internal/phased"
 	"repro/internal/power"
 	"repro/internal/powercap"
+	"repro/internal/rebalance"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -370,6 +371,56 @@ type PowerProfileStep = power.ProfileStep
 func BuildPowerProfile(m *PowerModel, timelines [][]dimemas.Segment, gears []Gear, until float64) (*PowerProfile, error) {
 	return power.BuildProfile(m, timelines, gears, until)
 }
+
+// Online rebalancing — the closed loop the paper's runtime vision implies:
+// simulate an application whose per-rank load drifts between iterations,
+// observe each executed iteration, and re-solve gears with a pluggable
+// policy (see internal/rebalance).
+
+// RebalanceConfig parameterizes one closed-loop rebalancing run.
+type RebalanceConfig = rebalance.Config
+
+// RebalanceResult reports the per-iteration series plus convergence metrics.
+type RebalanceResult = rebalance.Result
+
+// RebalanceIteration is one online iteration's measured outcome.
+type RebalanceIteration = rebalance.IterationStats
+
+// RebalancePolicy selects the rebalancing trigger.
+type RebalancePolicy = rebalance.Policy
+
+// Rebalancing policies.
+const (
+	// RebalanceNever assigns gears once from the first observed iteration.
+	RebalanceNever = rebalance.PolicyNever
+	// RebalanceEveryK re-solves every Period iterations.
+	RebalanceEveryK = rebalance.PolicyEveryK
+	// RebalanceThreshold re-solves on persistent balance degradation.
+	RebalanceThreshold = rebalance.PolicyThreshold
+	// RebalanceCapped is the threshold trigger under a peak power budget.
+	RebalanceCapped = rebalance.PolicyCapped
+)
+
+// RunRebalance simulates the closed loop: every iteration is an exact
+// skeleton retiming of the base iteration under that iteration's drifted
+// loads, bit-identical to a fresh replay at a fraction of the cost.
+func RunRebalance(cfg RebalanceConfig) (*RebalanceResult, error) { return rebalance.Run(cfg) }
+
+// WorkloadDrift describes how per-rank load evolves between iterations of
+// an online run (none, ramp, walk or step, plus transient jitter).
+type WorkloadDrift = workload.Drift
+
+// Drift kinds.
+const (
+	// DriftNone keeps loads static (only jitter perturbs iterations).
+	DriftNone = workload.DriftNone
+	// DriftRamp migrates the imbalance profile progressively across ranks.
+	DriftRamp = workload.DriftRamp
+	// DriftWalk evolves each rank's load as a clamped random walk.
+	DriftWalk = workload.DriftWalk
+	// DriftStep shifts the load distribution all at once mid-run.
+	DriftStep = workload.DriftStep
+)
 
 // GearSearchConfig parameterizes the gear-placement optimizer.
 type GearSearchConfig = gearopt.Config

@@ -214,3 +214,56 @@ func TestFacadePowerCap(t *testing.T) {
 		t.Error("time above the peak must be zero")
 	}
 }
+
+func TestFacadeRebalance(t *testing.T) {
+	tr, err := GenerateWorkload("IS-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := UniformGearSet(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewReplayCache()
+	res, err := RunRebalance(RebalanceConfig{
+		Trace:      tr,
+		Set:        six,
+		Policy:     RebalanceThreshold,
+		Iterations: 10,
+		Drift:      WorkloadDrift{Kind: DriftRamp, Magnitude: 0.4, Jitter: 0.02, Seed: 3},
+		Cache:      cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 10 {
+		t.Fatalf("%d iterations, want 10", len(res.Iterations))
+	}
+	if res.Norm.Energy >= 1 {
+		t.Errorf("drifting IS-32 rebalancing saved nothing: %v", res.Norm.Energy)
+	}
+	if res.Reassignments < 1 {
+		t.Error("threshold policy never assigned gears")
+	}
+	// The load-scaled retimer facade: scaling every rank by 1.0 reproduces
+	// the plain retiming bit for bit.
+	skel, err := BuildTimingSkeleton(tr, DefaultPlatform(), SimOptions{Beta: 0.5, FMax: FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, tr.NumRanks())
+	for i := range ones {
+		ones[i] = 1
+	}
+	plain, err := skel.Retime(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := skel.RetimeScaled(nil, ones, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Time != scaled.Time {
+		t.Errorf("all-ones RetimeScaled time %v != Retime time %v", scaled.Time, plain.Time)
+	}
+}

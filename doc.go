@@ -28,6 +28,23 @@
 //	res, _ := repro.Analyze(repro.AnalysisConfig{Trace: tr, Set: six, Algorithm: repro.MAX})
 //	fmt.Println(res.Norm) // energy 36.2% time 100.0% EDP 36.2%
 //
-// See the examples directory for runnable programs and cmd/pwrsim for the
-// experiment driver.
+// Beyond the paper's one-shot offline assignment, the package simulates the
+// online closed loop its runtime vision implies: RunRebalance iterates an
+// application whose per-rank load drifts between iterations (WorkloadDrift),
+// observes each executed iteration, and re-solves gears with a pluggable
+// policy — RebalanceNever (the static baseline), RebalanceEveryK,
+// RebalanceThreshold (balance-degradation trigger with hysteresis) or
+// RebalanceCapped (threshold trigger under a peak power budget via the
+// power-cap scheduler). Every simulated iteration is an exact retiming of
+// one recorded timing skeleton (TimingSkeleton.RetimeScaled), bit-identical
+// to a fresh replay of the drifted trace at a fraction of the cost:
+//
+//	res, _ := repro.RunRebalance(repro.RebalanceConfig{
+//	    Trace: tr, Set: six, Policy: repro.RebalanceThreshold,
+//	    Drift: repro.WorkloadDrift{Kind: repro.DriftRamp, Magnitude: 0.4, Jitter: 0.02},
+//	})
+//
+// See the examples directory for runnable programs (examples/rebalance for
+// the closed loop), cmd/pwrsim for the experiment driver, and
+// docs/ARCHITECTURE.md for the package map and dataflow.
 package repro

@@ -112,6 +112,15 @@ type Balancer struct {
 	// Rounding selects the gear-quantization rule (zero value: the paper's
 	// closest-higher rule).
 	Rounding Rounding
+	// Margin is the guard band an online controller leaves below the
+	// target: gears are chosen so each rank finishes its computation in
+	// (1−Margin)·target, absorbing run-to-run load noise that would
+	// otherwise push a stretched rank past the critical path and extend
+	// the iteration. The paper's offline assignment (and the reported
+	// Assignment.Target) uses the unshrunk target; Margin only biases the
+	// quantized gear choice upward. Zero — the offline default — keeps the
+	// assignment exactly as published.
+	Margin float64
 }
 
 // Errors returned by Assign.
@@ -138,6 +147,9 @@ func (b *Balancer) validate() error {
 	}
 	if b.FMax <= 0 {
 		return fmt.Errorf("%w (got %v)", timemodel.ErrBadFrequency, b.FMax)
+	}
+	if b.Margin < 0 || b.Margin >= 1 || math.IsNaN(b.Margin) {
+		return fmt.Errorf("core: margin %v outside [0, 1)", b.Margin)
 	}
 	return nil
 }
@@ -171,8 +183,15 @@ func (b *Balancer) Assign(alg Algorithm, compTimes []float64) (*Assignment, erro
 		Target:    target,
 		Algorithm: alg,
 	}
+	// The guard band biases only the frequency demand, not the reported
+	// target: when Margin is zero, goal == target and the assignment is
+	// bit-identical to the paper's.
+	goal := target
+	if b.Margin > 0 {
+		goal = target * (1 - b.Margin)
+	}
 	for r, c := range compTimes {
-		want := timemodel.RequiredFrequency(b.Beta, b.FMax, c, target)
+		want := timemodel.RequiredFrequency(b.Beta, b.FMax, c, goal)
 		if want <= 0 {
 			// Idle rank: park it at the lowest gear; it has no computation
 			// to stretch, so any frequency keeps it on time.

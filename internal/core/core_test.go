@@ -45,6 +45,57 @@ func TestAssignValidation(t *testing.T) {
 	}
 }
 
+// TestMarginBiasesGearsUpward: a guard band never picks a slower gear than
+// the zero-margin assignment, leaves the reported target untouched, targets
+// (1−Margin)·target exactly on continuous sets, and rejects margins outside
+// [0, 1).
+func TestMarginBiasesGearsUpward(t *testing.T) {
+	comp := []float64{1.0, 0.8, 0.55, 0.3, 0.95}
+	six, _ := dvfs.Uniform(6)
+	plain := mustBalancer(t, six, 0.5)
+	guarded := &Balancer{Set: six, Beta: 0.5, FMax: dvfs.FMax, Margin: 0.08}
+	a, err := plain.Assign(MAX, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guarded.Assign(MAX, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Target != a.Target {
+		t.Errorf("margin changed the reported target: %v vs %v", g.Target, a.Target)
+	}
+	for r := range comp {
+		if g.Gears[r].Freq < a.Gears[r].Freq {
+			t.Errorf("rank %d: margin picked a slower gear (%v) than zero-margin (%v)", r, g.Gears[r], a.Gears[r])
+		}
+	}
+	// On a continuous set the guard band is exact: every non-critical rank
+	// finishes in (1−Margin)·target.
+	cont := &Balancer{Set: dvfs.ContinuousUnlimited(), Beta: 0.5, FMax: dvfs.FMax, Margin: 0.1}
+	ac, err := cont.Assign(MAX, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := ac.Target * 0.9
+	for r, c := range comp {
+		// Ranks that would need over-clocking to reach the shrunk goal
+		// clamp to the set's top (their compute stays at c); everyone else
+		// lands on the goal exactly.
+		want := math.Max(goal, c)
+		got := c * timemodel.Slowdown(0.5, dvfs.FMax, ac.Gears[r].Freq)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("rank %d: guarded compute %v, want %v", r, got, want)
+		}
+	}
+	for _, bad := range []float64{-0.1, 1.0, math.NaN()} {
+		b := &Balancer{Set: six, Beta: 0.5, FMax: dvfs.FMax, Margin: bad}
+		if _, err := b.Assign(MAX, comp); err == nil {
+			t.Errorf("margin %v accepted", bad)
+		}
+	}
+}
+
 func TestMaxContinuousExact(t *testing.T) {
 	// Unlimited continuous set: every rank hits the target exactly.
 	b := mustBalancer(t, dvfs.ContinuousUnlimited(), 0.5)

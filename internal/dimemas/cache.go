@@ -121,18 +121,32 @@ func (c *ReplayCache) OriginalSlice(parent *trace.Trace, iteration int, sub *tra
 // skeleton covers every gear assignment and timeline mode). A nil receiver
 // builds an uncached skeleton.
 func (c *ReplayCache) SkeletonFor(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
+	return c.skeleton(t, -1, t, p, opts)
+}
+
+// SkeletonForSlice is SkeletonFor for a per-iteration sub-trace: sub must be
+// parent.Slice(iteration, iteration+1). Keying on (parent, iteration)
+// instead of the sub-trace pointer lets repeated runs over the same parent
+// trace (which re-slice it every run — policy sweeps, benchmarks, repeated
+// server requests) share one skeleton, exactly as OriginalSlice does for
+// baseline replays.
+func (c *ReplayCache) SkeletonForSlice(parent *trace.Trace, iteration int, sub *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
+	return c.skeleton(parent, iteration, sub, p, opts)
+}
+
+func (c *ReplayCache) skeleton(keyTrace *trace.Trace, slice int, build *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
 	if c == nil {
-		return BuildSkeleton(t, p, opts)
+		return BuildSkeleton(build, p, opts)
 	}
 	k := replayKey{
-		tr:       t,
-		slice:    -1,
+		tr:       keyTrace,
+		slice:    slice,
 		beta:     opts.Beta,
 		fmax:     opts.FMax,
 		platform: p,
 		skeleton: true,
 	}
-	e, err := c.flight(k, opts, func(e *replayEntry) { e.skel, e.err = BuildSkeleton(t, p, opts) })
+	e, err := c.flight(k, opts, func(e *replayEntry) { e.skel, e.err = BuildSkeleton(build, p, opts) })
 	if err != nil {
 		return nil, err
 	}

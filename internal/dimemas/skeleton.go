@@ -356,7 +356,7 @@ func fmax2(a, b float64) float64 {
 // from. freqs may be nil (every rank at FMax). Safe for concurrent use.
 func (s *Skeleton) Retime(freqs []float64, recordTimeline bool) (*Result, error) {
 	res := &Result{}
-	if err := s.retime(res, freqs, recordTimeline); err != nil {
+	if err := s.retime(res, freqs, nil, recordTimeline); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -368,10 +368,39 @@ func (s *Skeleton) Retime(freqs []float64, recordTimeline bool) (*Result, error)
 // serving) allocation-free. Timelines are never recorded; res.Timeline is
 // reset to nil.
 func (s *Skeleton) RetimeInto(res *Result, freqs []float64) error {
-	return s.retime(res, freqs, false)
+	return s.retime(res, freqs, nil, false)
 }
 
-func (s *Skeleton) retime(res *Result, freqs []float64, recordTimeline bool) error {
+// RetimeScaled is Retime with every rank's computation durations
+// additionally multiplied by scale[rank] before the frequency slowdown is
+// applied. Because the retirement schedule is recorded without ever reading
+// a clock, it stays valid for any computation durations over the same
+// communication structure — so one skeleton can replay a whole family of
+// load-perturbed executions. The result is bit-identical to
+//
+//	Simulate(trace.ScaleCompute(func(r, _) float64 { return scale[r] }),
+//	         platform, Options{Beta, FMax, Freqs: freqs, ...})
+//
+// at a fraction of the cost (no trace copy, no re-validation, no fresh
+// replay). scale may be nil (no scaling); entries must be finite and
+// non-negative. This is what lets the online rebalancing controller
+// (internal/rebalance) simulate N drifting iterations off a single
+// skeleton. Safe for concurrent use.
+func (s *Skeleton) RetimeScaled(freqs, scale []float64, recordTimeline bool) (*Result, error) {
+	res := &Result{}
+	if err := s.retime(res, freqs, scale, recordTimeline); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RetimeScaledInto is RetimeScaled writing into a caller-owned Result (no
+// timeline recording), allocation-free in the steady state like RetimeInto.
+func (s *Skeleton) RetimeScaledInto(res *Result, freqs, scale []float64) error {
+	return s.retime(res, freqs, scale, false)
+}
+
+func (s *Skeleton) retime(res *Result, freqs, scale []float64, recordTimeline bool) error {
 	n := s.nranks
 	if freqs != nil {
 		if len(freqs) != n {
@@ -380,6 +409,16 @@ func (s *Skeleton) retime(res *Result, freqs []float64, recordTimeline bool) err
 		for r, f := range freqs {
 			if f <= 0 || math.IsNaN(f) {
 				return fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
+			}
+		}
+	}
+	if scale != nil {
+		if len(scale) != n {
+			return fmt.Errorf("dimemas: %d load scales for %d ranks", len(scale), n)
+		}
+		for r, m := range scale {
+			if m < 0 || math.IsNaN(m) || math.IsInf(m, 1) {
+				return fmt.Errorf("dimemas: rank %d has invalid load scale %v", r, m)
 			}
 		}
 	}
@@ -414,14 +453,25 @@ func (s *Skeleton) retime(res *Result, freqs []float64, recordTimeline bool) err
 		r := op.rank
 		switch op.kind {
 		case opCompute:
-			d := op.f1 * sd[r]
+			// Scaling multiplies the fmax duration first, then the slowdown
+			// — the exact association Simulate sees on a ScaleCompute'd
+			// trace, which keeps RetimeScaled bit-identical to it.
+			f1 := op.f1
+			if scale != nil {
+				f1 *= scale[r]
+			}
+			d := f1 * sd[r]
 			if recordTimeline {
 				segs[r] = appendSeg(segs[r], clock[r], clock[r]+d, StateCompute)
 			}
 			clock[r] += d
 			comp[r] += d
 		case opComputeBeta:
-			d := op.f1 * timemodel.Slowdown(s.betas[op.arg], s.fmax, c.freq[r])
+			f1 := op.f1
+			if scale != nil {
+				f1 *= scale[r]
+			}
+			d := f1 * timemodel.Slowdown(s.betas[op.arg], s.fmax, c.freq[r])
 			if recordTimeline {
 				segs[r] = appendSeg(segs[r], clock[r], clock[r]+d, StateCompute)
 			}

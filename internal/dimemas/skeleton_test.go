@@ -157,6 +157,153 @@ func TestBuildSkeletonDeadlockDiagnosticMatchesSimulate(t *testing.T) {
 	}
 }
 
+// TestRetimeScaledMatchesSimulateScaledTrace is the golden-equivalence
+// check of the load-scaled retimer: RetimeScaled over the base trace's
+// skeleton must be bit-identical to Simulate over the corresponding
+// ScaleCompute'd trace — the property that lets one skeleton replay a whole
+// family of load-drifted iterations.
+func TestRetimeScaledMatchesSimulateScaledTrace(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, n := range []int{2, 4, 8} {
+			for pi, p := range equivPlatforms() {
+				tr := randomValidTrace(seed*100+int64(n), n, 3, p.EagerLimit)
+				rng := rand.New(rand.NewSource(seed * 77))
+				opts := Options{Beta: 0.5, FMax: 2.3}
+				sk, err := BuildSkeleton(tr, p, opts)
+				if err != nil {
+					t.Fatalf("seed=%d n=%d platform=%d: BuildSkeleton: %v", seed, n, pi, err)
+				}
+				for trial := 0; trial < 3; trial++ {
+					scale := make([]float64, n)
+					for r := range scale {
+						scale[r] = 0.3 + rng.Float64()*1.8
+					}
+					if trial == 2 {
+						scale[rng.Intn(n)] = 0 // a rank whose load vanished
+					}
+					scaled := tr.ScaleCompute(func(r int, _ trace.Record) float64 { return scale[r] })
+					for fi, freqs := range [][]float64{nil, randomGearVector(rng, n)} {
+						for _, timeline := range []bool{false, true} {
+							label := fmt.Sprintf("seed=%d n=%d platform=%d trial=%d freqs=%d timeline=%v",
+								seed, n, pi, trial, fi, timeline)
+							simOpts := opts
+							simOpts.Freqs = freqs
+							simOpts.RecordTimeline = timeline
+							want, err := Simulate(scaled, p, simOpts)
+							if err != nil {
+								t.Fatalf("%s: Simulate: %v", label, err)
+							}
+							got, err := sk.RetimeScaled(freqs, scale, timeline)
+							if err != nil {
+								t.Fatalf("%s: RetimeScaled: %v", label, err)
+							}
+							mustEqualResults(t, label, got, want)
+						}
+					}
+				}
+				// An all-ones scale is bit-identical to the unscaled retimer.
+				ones := make([]float64, n)
+				for r := range ones {
+					ones[r] = 1
+				}
+				want, err := sk.Retime(nil, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sk.RetimeScaled(nil, ones, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualResults(t, fmt.Sprintf("seed=%d n=%d platform=%d ones", seed, n, pi), got, want)
+			}
+		}
+	}
+}
+
+func TestRetimeScaledValidatesScale(t *testing.T) {
+	p := DefaultPlatform()
+	tr := randomValidTrace(7, 4, 2, p.EagerLimit)
+	sk, err := BuildSkeleton(tr, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.RetimeScaled(nil, []float64{1, 1}, false); err == nil {
+		t.Error("wrong-length scale vector accepted")
+	}
+	if _, err := sk.RetimeScaled(nil, []float64{1, -0.5, 1, 1}, false); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := sk.RetimeScaled(nil, []float64{1, math.NaN(), 1, 1}, false); err == nil {
+		t.Error("NaN scale accepted")
+	}
+	if _, err := sk.RetimeScaled(nil, []float64{1, math.Inf(1), 1, 1}, false); err == nil {
+		t.Error("+Inf scale accepted")
+	}
+}
+
+func TestReplayCacheSkeletonForSlice(t *testing.T) {
+	p := DefaultPlatform()
+	tr := randomValidTrace(12, 4, 3, p.EagerLimit)
+	cache := NewReplayCache()
+	opts := DefaultOptions()
+	subA, err := tr.Slice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cache.SkeletonForSlice(tr, 0, subA, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A re-slice of the same iteration is a distinct *Trace, but the
+	// (parent, iteration) key makes it hit the memoized skeleton.
+	subB, err := tr.Slice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.SkeletonForSlice(tr, 0, subB, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("re-sliced iteration did not hit the memoized skeleton")
+	}
+	// A different iteration index gets its own entry, as does the
+	// whole-trace skeleton.
+	sub1, err := tr.Slice(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.SkeletonForSlice(tr, 1, sub1, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("iteration 1 shared iteration 0's skeleton")
+	}
+	if _, err := cache.SkeletonFor(tr, p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Errorf("cache holds %d entries, want 3 (two slices + whole trace)", cache.Len())
+	}
+	// The memoized slice skeleton retimes bit-identically to simulating
+	// the slice directly.
+	want, err := Simulate(subA, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Retime(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "slice skeleton", got, want)
+	// Nil receivers degrade to an uncached build.
+	var nilCache *ReplayCache
+	if sk, err := nilCache.SkeletonForSlice(tr, 0, subA, p, opts); err != nil || sk == nil {
+		t.Fatalf("nil cache SkeletonForSlice: %v, %v", sk, err)
+	}
+}
+
 func TestRetimeValidatesFrequencies(t *testing.T) {
 	p := DefaultPlatform()
 	tr := randomValidTrace(3, 4, 2, p.EagerLimit)

@@ -166,6 +166,9 @@ func All() []Experiment {
 		{"powercap", "Extension: budget-constrained gear scheduling (cap sweep)", func(s *Suite, w io.Writer) error {
 			return s.PowercapStudy(w)
 		}},
+		{"rebalance", "Extension: online rebalancing under load drift (policy sweep)", func(s *Suite, w io.Writer) error {
+			return s.RebalanceStudy(w)
+		}},
 	}
 }
 

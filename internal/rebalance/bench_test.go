@@ -1,0 +1,93 @@
+package rebalance
+
+import (
+	"testing"
+
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// wrf128 generates the paper's largest instance once per benchmark binary.
+var wrf128 *trace.Trace
+
+func wrfTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	if wrf128 == nil {
+		inst, err := workload.FindInstance("WRF-128")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := workload.DefaultConfig()
+		cfg.Iterations = 5
+		cfg.SkipPECalibration = true
+		wrf128, err = workload.Generate(inst, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return wrf128
+}
+
+func benchConfig(tr *trace.Trace, set *dvfs.Set, fresh bool) Config {
+	return Config{
+		Trace:        tr,
+		Set:          set,
+		Policy:       PolicyThreshold,
+		Iterations:   30,
+		Drift:        workload.Drift{Kind: workload.DriftRamp, Magnitude: 0.4, Jitter: 0.02, Seed: 2},
+		Cache:        dimemas.NewReplayCache(),
+		FreshReplays: fresh,
+	}
+}
+
+// BenchmarkRebalanceWRF128 measures the production path: a 30-iteration
+// threshold-triggered closed loop over drifting WRF-128 where every
+// iteration (the executed run and its FMax reference) is an O(events)
+// retiming of the single memoized base-iteration skeleton. Compare with
+// BenchmarkRebalanceWRF128Fresh, the identical (bit-for-bit) loop that
+// rebuilds the drifted trace and replays it freshly every iteration — the
+// ratio is the skeleton's speedup on the online problem.
+func BenchmarkRebalanceWRF128(b *testing.B) {
+	tr := wrfTrace(b)
+	set, err := dvfs.Uniform(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the skeleton once, as a long-running service would; the loop
+	// then measures the steady state.
+	cache := dimemas.NewReplayCache()
+	cfg := benchConfig(tr, set, false)
+	cfg.Cache = cache
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRebalanceWRF128Fresh is the comparison arm: identical loop,
+// identical results, but every iteration pays a drifted-trace rebuild plus
+// two full replays.
+func BenchmarkRebalanceWRF128Fresh(b *testing.B) {
+	tr := wrfTrace(b)
+	set, err := dvfs.Uniform(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig(tr, set, true)
+	cfg.Cache = nil
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,668 @@
+// Package rebalance closes the paper's loop online. The offline pipeline
+// (internal/analysis) profiles one fixed trace and assigns DVFS gears once;
+// real iterative MPI applications drift — per-rank load shifts between
+// outer-loop iterations (adaptive meshes, particle migration, input-dependent
+// physics) — so a profile-once assignment goes stale and a runtime system
+// must decide *when* to re-solve. This package simulates that closed loop:
+// an application iterates N times with per-rank load evolving under a
+// workload.Drift model, the controller observes each executed iteration's
+// per-rank computation times (the same information a real runtime gets from
+// its timers), and a pluggable policy decides whether to re-assign gears for
+// the next iteration.
+//
+// Policies:
+//
+//   - PolicyNever — profile the first iteration, assign once, never adapt:
+//     the paper's static MAX/AVG baseline exposed to drift.
+//   - PolicyEveryK — re-solve every Period iterations (Period 1 is the
+//     "always" extreme), paying the re-assignment overhead each time the
+//     gears actually change.
+//   - PolicyThreshold — re-solve only when the executed run's compute
+//     balance (eq. 4 over the observed per-rank computation times) has
+//     degraded more than Threshold below the balance achieved right after
+//     the last assignment, for Hysteresis consecutive iterations — drift
+//     triggers it, transient jitter does not.
+//   - PolicyCapped — the threshold trigger under a fixed cluster power
+//     budget: every re-solve delegates to internal/powercap's load-aware
+//     redistribution, and gear vectors always satisfy the peak cap (the
+//     all-compute peak bound is load-independent, so the budget holds on
+//     every iteration regardless of drift).
+//
+// Every simulated iteration is exact: the base iteration's timing skeleton
+// is recorded once (dimemas.ReplayCache.SkeletonForSlice) and each
+// (gear vector, drift factors) combination is replayed with
+// Skeleton.RetimeScaled — bit-identical to freshly simulating the drifted
+// trace (Config.FreshReplays does exactly that, as a cross-check and a
+// benchmark baseline) at a fraction of the cost.
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/powercap"
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Policy selects the rebalancing trigger.
+type Policy int
+
+const (
+	// PolicyNever assigns gears once from the first observed iteration.
+	PolicyNever Policy = iota
+	// PolicyEveryK re-solves every Period iterations.
+	PolicyEveryK
+	// PolicyThreshold re-solves when the observed compute balance degrades
+	// past Threshold (with Hysteresis) relative to the balance right after
+	// the last assignment.
+	PolicyThreshold
+	// PolicyCapped is PolicyThreshold under a peak cluster power budget,
+	// delegating every assignment to internal/powercap.
+	PolicyCapped
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNever:
+		return "never"
+	case PolicyEveryK:
+		return "every-k"
+	case PolicyThreshold:
+		return "threshold"
+	case PolicyCapped:
+		return "capped"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy is the inverse of Policy.String (for wire and CLI use).
+func ParsePolicy(s string) (Policy, error) {
+	for p := PolicyNever; p <= PolicyCapped; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("rebalance: unknown policy %q (want never, every-k, threshold or capped)", s)
+}
+
+// Config parameterizes one closed-loop rebalancing run.
+type Config struct {
+	// Trace is the application trace; its first iteration (up to the first
+	// IterMark on every rank) is the structure every online iteration
+	// replays, with loads scaled by the drift model.
+	Trace *trace.Trace
+	// Platform models the interconnect; zero value means DefaultPlatform.
+	Platform dimemas.Platform
+	// Power configures the CPU power model; zero value means the paper's
+	// baseline.
+	Power power.Config
+	// Set is the available DVFS gear set. PolicyCapped requires a discrete
+	// set (the power-cap scheduler sheds gears stepwise).
+	Set *dvfs.Set
+	// Algorithm selects the balancing rule used on each re-solve (MAX or
+	// AVG); ignored by PolicyCapped, which schedules under the budget.
+	Algorithm core.Algorithm
+	// Beta is the memory-boundedness parameter; the zero value selects the
+	// paper's default 0.5 unless BetaSet is true (see analysis.Config).
+	Beta float64
+	// BetaSet marks Beta as explicitly chosen, honoring an explicit 0.
+	BetaSet bool
+	// FMax is the nominal top frequency (default dvfs.FMax when zero).
+	FMax float64
+	// Iterations is the number of online iterations to simulate (default
+	// 20).
+	Iterations int
+	// Drift describes how per-rank load evolves between iterations; the
+	// zero value keeps loads static.
+	Drift workload.Drift
+	// Policy selects the rebalancing trigger (default PolicyNever).
+	Policy Policy
+	// Period is PolicyEveryK's re-solve interval (default 1 — re-solve
+	// after every iteration).
+	Period int
+	// Threshold is the balance-degradation trigger of
+	// PolicyThreshold/PolicyCapped (default 0.05): re-solve once the
+	// observed compute balance drops more than this below the level
+	// established right after the previous assignment.
+	Threshold float64
+	// Hysteresis is the number of consecutive violating iterations
+	// required before PolicyThreshold/PolicyCapped re-solves (default 2),
+	// so one noisy iteration does not trigger a rebalance.
+	Hysteresis int
+	// Margin is the guard band left below the balancing target on every
+	// re-solve (core.Balancer.Margin): gears are chosen so ranks finish in
+	// (1−Margin)·target, absorbing iteration-to-iteration load noise that
+	// would otherwise push a freshly stretched rank past the critical path.
+	// Ignored by PolicyCapped (the budget, not a target, binds there).
+	// Default 0 — the paper's offline assignment.
+	Margin float64
+	// Cap is PolicyCapped's peak cluster power budget in model units
+	// (required, > 0, for that policy; must be zero otherwise).
+	Cap float64
+	// ReassignOverhead is the wall-clock cost in seconds charged to an
+	// iteration whose gear vector changed (runtime coordination plus DVFS
+	// transitions). Ranks idle at communication-phase power while it is
+	// paid. Default 0.
+	ReassignOverhead float64
+	// ExactPeaks records per-iteration timelines and reports each
+	// iteration's exact cluster power-profile peak. When false (default),
+	// the reported peak is the all-ranks-computing upper bound — the
+	// load-independent quantity a peak cap constrains — and the loop stays
+	// allocation-free.
+	ExactPeaks bool
+	// FreshReplays scores every iteration with a fresh Simulate call over
+	// a newly built drifted trace instead of retiming the shared skeleton.
+	// Results are bit-identical either way; the flag exists to measure the
+	// skeleton's speedup (BenchmarkRebalanceWRF128) and as a cross-check
+	// in tests.
+	FreshReplays bool
+	// Cache optionally memoizes the base-iteration skeleton (keyed by the
+	// parent trace and iteration 0) so policy sweeps and repeated server
+	// requests over the same trace record it once. Nil builds one
+	// uncached skeleton per run.
+	Cache *dimemas.ReplayCache
+	// Ctx optionally bounds the run; it is polled every iteration and
+	// threaded into the replays, so serving layers can stop paying for
+	// requests that already timed out.
+	Ctx context.Context
+}
+
+// IterationStats is one online iteration's measured outcome.
+type IterationStats struct {
+	// Time and Energy are the executed iteration's wall-clock time and CPU
+	// energy (including the re-assignment overhead when Rebalanced).
+	Time, Energy float64
+	// PeakPower is the iteration's cluster power peak: the exact profile
+	// peak under Config.ExactPeaks, the all-ranks-computing upper bound
+	// otherwise.
+	PeakPower float64
+	// LB is the executed run's compute balance (eq. 4 over the observed
+	// per-rank computation times) — the quantity the threshold trigger
+	// watches.
+	LB float64
+	// Rebalanced marks iterations that started with a changed gear vector.
+	Rebalanced bool
+}
+
+// Result reports one closed-loop run.
+type Result struct {
+	// App names the application trace.
+	App string
+	// Policy echoes the trigger that ran.
+	Policy Policy
+	// Iterations holds the per-iteration series.
+	Iterations []IterationStats
+	// TotalTime and TotalEnergy sum the series.
+	TotalTime, TotalEnergy float64
+	// PeakPower is the maximum per-iteration peak across the run.
+	PeakPower float64
+	// OrigTime and OrigEnergy are the all-ranks-at-FMax execution of the
+	// same drifted iterations (no DVFS, no overhead) — the normalization
+	// reference.
+	OrigTime, OrigEnergy float64
+	// Norm holds energy/time/EDP normalized to the original run.
+	Norm metrics.Result
+	// Reassignments counts re-solves that changed at least one gear;
+	// GearSwitches counts the per-rank gear changes across all of them.
+	Reassignments, GearSwitches int
+	// MeanLB and MinLB summarize the executed-balance series — how close
+	// to balanced the controller kept the run, and its worst excursion.
+	MeanLB, MinLB float64
+	// FinalGears is the per-rank gear vector after the last iteration.
+	FinalGears []dvfs.Gear
+}
+
+// Errors.
+var (
+	// ErrNilTrace reports a missing trace.
+	ErrNilTrace = errors.New("rebalance: config needs a trace")
+	// ErrNoIterations reports a trace without iteration markers.
+	ErrNoIterations = errors.New("rebalance: trace carries no iteration markers")
+	// ErrCapWithoutPolicy reports a cap on a policy that cannot honor it.
+	ErrCapWithoutPolicy = errors.New("rebalance: cap applies only to the capped policy")
+	// ErrCapRequired reports a missing cap for the capped policy.
+	ErrCapRequired = errors.New("rebalance: capped policy needs a positive cap")
+)
+
+func (c *Config) normalize() error {
+	if c.Trace == nil {
+		return ErrNilTrace
+	}
+	if c.Set == nil {
+		return core.ErrNilSet
+	}
+	if c.Platform == (dimemas.Platform{}) {
+		c.Platform = dimemas.DefaultPlatform()
+	}
+	if c.Power == (power.Config{}) {
+		c.Power = power.DefaultConfig()
+	}
+	if c.Beta < 0 || c.Beta > 1 || math.IsNaN(c.Beta) {
+		return fmt.Errorf("rebalance: beta %v outside [0, 1]", c.Beta)
+	}
+	if c.Beta == 0 && !c.BetaSet {
+		c.Beta = timemodel.DefaultBeta
+	}
+	if c.FMax == 0 {
+		c.FMax = dvfs.FMax
+	}
+	if c.FMax < 0 {
+		return fmt.Errorf("rebalance: negative fmax %v", c.FMax)
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("rebalance: negative iterations %d", c.Iterations)
+	}
+	if c.Policy < PolicyNever || c.Policy > PolicyCapped {
+		return fmt.Errorf("rebalance: unknown policy %d", int(c.Policy))
+	}
+	if c.Period == 0 {
+		c.Period = 1
+	}
+	if c.Period < 0 {
+		return fmt.Errorf("rebalance: negative period %d", c.Period)
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+	if c.Threshold < 0 || c.Threshold >= 1 || math.IsNaN(c.Threshold) {
+		return fmt.Errorf("rebalance: threshold %v outside (0, 1)", c.Threshold)
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 2
+	}
+	if c.Hysteresis < 0 {
+		return fmt.Errorf("rebalance: negative hysteresis %d", c.Hysteresis)
+	}
+	if c.Policy == PolicyCapped {
+		if c.Cap <= 0 || math.IsNaN(c.Cap) || math.IsInf(c.Cap, 0) {
+			return ErrCapRequired
+		}
+		if c.Set.Continuous() {
+			return fmt.Errorf("rebalance: capped policy needs a discrete gear set, got %s", c.Set.Name())
+		}
+	} else if c.Cap != 0 {
+		return ErrCapWithoutPolicy
+	}
+	if c.Margin < 0 || c.Margin >= 1 || math.IsNaN(c.Margin) {
+		return fmt.Errorf("rebalance: margin %v outside [0, 1)", c.Margin)
+	}
+	if c.ReassignOverhead < 0 || math.IsNaN(c.ReassignOverhead) || math.IsInf(c.ReassignOverhead, 0) {
+		return fmt.Errorf("rebalance: reassign overhead must be finite and non-negative, got %v", c.ReassignOverhead)
+	}
+	if err := c.Drift.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// loop carries one run's state.
+type loop struct {
+	cfg   *Config
+	pm    *power.Model
+	base  *trace.Trace // the base iteration (iteration 0 of cfg.Trace)
+	skel  *dimemas.Skeleton
+	gears []dvfs.Gear
+	freqs []float64
+	sd    []float64 // per rank: slowdown of the current gear
+	chat  []float64 // per rank: observed compute de-scaled to FMax
+	c0    []float64 // per rank: base-iteration compute at FMax (trace sums)
+	usage []power.Usage
+	exec  dimemas.Result // reusable buffers (non-ExactPeaks path)
+	ref   dimemas.Result
+}
+
+// Run simulates the closed loop and reports the per-iteration series plus
+// convergence metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Trace.Iterations() == 0 {
+		return nil, ErrNoIterations
+	}
+	pm, err := power.New(cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cfg.Trace.Slice(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	n := base.NumRanks()
+	opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Ctx: cfg.Ctx}
+
+	l := &loop{
+		cfg:   &cfg,
+		pm:    pm,
+		base:  base,
+		freqs: make([]float64, n),
+		sd:    make([]float64, n),
+		chat:  make([]float64, n),
+		c0:    base.ComputeTimes(),
+		usage: make([]power.Usage, n),
+	}
+	if !cfg.FreshReplays {
+		l.skel, err = cfg.Cache.SkeletonForSlice(cfg.Trace, 0, base, cfg.Platform, opts)
+		if err != nil {
+			return nil, fmt.Errorf("rebalance: base-iteration skeleton: %w", err)
+		}
+	}
+
+	factors, err := cfg.Drift.Factors(n, cfg.Iterations)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initial gears: the profiling iteration runs at the nominal top
+	// frequency — except under a cap, which must hold from the first
+	// iteration: the cold start is the blind governor's uniform downshift.
+	nominal := dvfs.GearAt(cfg.FMax)
+	nomGears := make([]dvfs.Gear, n)
+	l.gears = make([]dvfs.Gear, n)
+	for r := range l.gears {
+		nomGears[r] = nominal
+		l.gears[r] = nominal
+	}
+	if cfg.Policy == PolicyCapped {
+		if err := l.cappedColdStart(); err != nil {
+			return nil, err
+		}
+	}
+	l.syncGearState()
+
+	res := &Result{
+		App:        cfg.Trace.App,
+		Policy:     cfg.Policy,
+		Iterations: make([]IterationStats, 0, cfg.Iterations),
+		MinLB:      math.Inf(1),
+	}
+
+	var (
+		solved     bool    // first assignment done (after the profiling iteration)
+		lastSolve  int     // iteration whose observation fed the last re-solve
+		lbRef      = -1.0  // balance right after the last assignment; <0 = unset
+		violations int     // consecutive threshold violations
+		rebalanced bool    // gears changed before the upcoming iteration
+		lbSum      float64 // running MeanLB numerator
+	)
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		exec, ref, err := l.replay(factors[it])
+		if err != nil {
+			return nil, fmt.Errorf("rebalance: iteration %d: %w", it, err)
+		}
+
+		// Account the executed iteration and the FMax reference.
+		energy, err := l.energyOf(exec, l.gears)
+		if err != nil {
+			return nil, err
+		}
+		itTime := exec.Time
+		if rebalanced && cfg.ReassignOverhead > 0 {
+			// Ranks sit in the runtime (communication-phase power) while
+			// the coordination and the gear transitions are paid for.
+			itTime += cfg.ReassignOverhead
+			for _, g := range l.gears {
+				energy += cfg.ReassignOverhead * pm.Power(power.Comm, g)
+			}
+		}
+		peak, err := l.peakOf(exec)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := metrics.LoadBalance(exec.Compute)
+		if err != nil {
+			return nil, fmt.Errorf("rebalance: iteration %d: %w", it, err)
+		}
+		refEnergy, err := l.energyOf(ref, nomGears)
+		if err != nil {
+			return nil, err
+		}
+
+		res.Iterations = append(res.Iterations, IterationStats{
+			Time:       itTime,
+			Energy:     energy,
+			PeakPower:  peak,
+			LB:         lb,
+			Rebalanced: rebalanced,
+		})
+		res.TotalTime += itTime
+		res.TotalEnergy += energy
+		if peak > res.PeakPower {
+			res.PeakPower = peak
+		}
+		res.OrigTime += ref.Time
+		res.OrigEnergy += refEnergy
+		lbSum += lb
+		if lb < res.MinLB {
+			res.MinLB = lb
+		}
+		rebalanced = false
+
+		// Observe and decide the gears of iteration it+1.
+		if it == cfg.Iterations-1 {
+			break
+		}
+		l.observe(exec)
+		solve := false
+		switch {
+		case !solved:
+			// Every policy turns its first observation into an assignment.
+			solve = true
+		case cfg.Policy == PolicyNever:
+		case cfg.Policy == PolicyEveryK:
+			solve = it-lastSolve >= cfg.Period
+		default: // PolicyThreshold, PolicyCapped
+			if lbRef < 0 {
+				// First iteration executed with the current assignment:
+				// its balance is the reference the trigger degrades from.
+				lbRef = lb
+				break
+			}
+			if lb < lbRef-cfg.Threshold {
+				violations++
+			} else {
+				violations = 0
+			}
+			solve = violations >= cfg.Hysteresis
+		}
+		if !solve {
+			continue
+		}
+		next, err := l.solve()
+		if err != nil {
+			return nil, fmt.Errorf("rebalance: iteration %d re-solve: %w", it, err)
+		}
+		solved = true
+		lastSolve = it
+		violations = 0
+		lbRef = -1
+		switches := 0
+		for r := range next {
+			if next[r] != l.gears[r] {
+				switches++
+			}
+		}
+		if switches > 0 {
+			res.Reassignments++
+			res.GearSwitches += switches
+			rebalanced = true
+			copy(l.gears, next)
+			l.syncGearState()
+		}
+	}
+
+	res.MeanLB = lbSum / float64(len(res.Iterations))
+	res.Norm = metrics.NewResult(res.OrigEnergy, res.OrigTime, res.TotalEnergy, res.TotalTime)
+	res.FinalGears = append([]dvfs.Gear(nil), l.gears...)
+	return res, nil
+}
+
+// syncGearState refreshes the per-rank frequency and slowdown caches after a
+// gear change.
+func (l *loop) syncGearState() {
+	for r, g := range l.gears {
+		l.freqs[r] = g.Freq
+		l.sd[r] = timemodel.Slowdown(l.cfg.Beta, l.cfg.FMax, g.Freq)
+	}
+}
+
+// replay executes one iteration at the current gears and the all-FMax
+// reference under the same drift factors — skeleton retimes on the cached
+// path, fresh simulations of a rebuilt drifted trace under FreshReplays.
+func (l *loop) replay(scale []float64) (exec, ref *dimemas.Result, err error) {
+	cfg := l.cfg
+	if cfg.FreshReplays {
+		drifted := l.base.ScaleCompute(func(r int, _ trace.Record) float64 { return scale[r] })
+		opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Freqs: l.freqs, RecordTimeline: cfg.ExactPeaks, Ctx: cfg.Ctx}
+		exec, err = dimemas.Simulate(drifted, cfg.Platform, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Freqs = nil
+		opts.RecordTimeline = false
+		ref, err = dimemas.Simulate(drifted, cfg.Platform, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return exec, ref, nil
+	}
+	if cfg.ExactPeaks {
+		exec, err = l.skel.RetimeScaled(l.freqs, scale, true)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if err = l.skel.RetimeScaledInto(&l.exec, l.freqs, scale); err != nil {
+			return nil, nil, err
+		}
+		exec = &l.exec
+	}
+	if err = l.skel.RetimeScaledInto(&l.ref, nil, scale); err != nil {
+		return nil, nil, err
+	}
+	return exec, &l.ref, nil
+}
+
+// observe de-scales the executed iteration's per-rank computation times back
+// to FMax — what a runtime derives from its timers and the gears it set —
+// feeding the next assignment.
+func (l *loop) observe(exec *dimemas.Result) {
+	for r, c := range exec.Compute {
+		l.chat[r] = c / l.sd[r]
+	}
+}
+
+// solve computes a fresh gear vector from the observed loads.
+func (l *loop) solve() ([]dvfs.Gear, error) {
+	cfg := l.cfg
+	if cfg.Policy == PolicyCapped {
+		return l.solveCapped()
+	}
+	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Margin: cfg.Margin}
+	a, err := balancer.Assign(cfg.Algorithm, l.chat)
+	if err != nil {
+		return nil, err
+	}
+	return a.Gears, nil
+}
+
+// solveCapped delegates to the power-cap scheduler: the observed loads are
+// written onto the base iteration's structure and redistributed under the
+// peak budget.
+func (l *loop) solveCapped() ([]dvfs.Gear, error) {
+	cfg := l.cfg
+	obs := l.base.ScaleCompute(func(r int, _ trace.Record) float64 {
+		if l.c0[r] <= 0 {
+			return 1 // idle rank: nothing to scale
+		}
+		return l.chat[r] / l.c0[r]
+	})
+	res, err := powercap.Run(powercap.Config{
+		Trace:    obs,
+		Platform: cfg.Platform,
+		Power:    cfg.Power,
+		Set:      cfg.Set,
+		Cap:      cfg.Cap,
+		Kind:     powercap.CapPeak,
+		Beta:     cfg.Beta,
+		BetaSet:  true,
+		FMax:     cfg.FMax,
+		Ctx:      cfg.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Redistributed.Gears, nil
+}
+
+// cappedColdStart parks every rank on the highest uniform gear whose
+// all-compute peak fits the budget — what a cluster governor without
+// application knowledge does before the first observation.
+func (l *loop) cappedColdStart() error {
+	cfg := l.cfg
+	gears := cfg.Set.Gears()
+	n := len(l.gears)
+	for gi := len(gears) - 1; gi >= 0; gi-- {
+		if float64(n)*l.pm.Power(power.Compute, gears[gi]) <= cfg.Cap {
+			for r := range l.gears {
+				l.gears[r] = gears[gi]
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: peak cap %.6g below the all-bottom-gear compute power %.6g (%d ranks at %s)",
+		powercap.ErrCapInfeasible, cfg.Cap, float64(n)*l.pm.Power(power.Compute, gears[0]), n, gears[0])
+}
+
+// energyOf accounts the CPU energy of one executed iteration at explicit
+// gears, with the same Usage construction the offline pipeline uses.
+func (l *loop) energyOf(res *dimemas.Result, gears []dvfs.Gear) (float64, error) {
+	for r := range gears {
+		l.usage[r] = power.Usage{
+			Gear:        gears[r],
+			ComputeTime: res.Compute[r],
+			CommTime:    res.Comm(r),
+		}
+	}
+	b, err := l.pm.EnergyBreakdown(l.usage)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total(), nil
+}
+
+// peakOf reports the iteration's cluster power peak: exact from the
+// recorded timeline under ExactPeaks, the all-ranks-computing upper bound
+// otherwise.
+func (l *loop) peakOf(exec *dimemas.Result) (float64, error) {
+	if l.cfg.ExactPeaks {
+		profile, err := power.BuildProfile(l.pm, exec.Timeline, l.gears, exec.Time)
+		if err != nil {
+			return 0, err
+		}
+		return profile.Peak(), nil
+	}
+	var sum float64
+	for _, g := range l.gears {
+		sum += l.pm.Power(power.Compute, g)
+	}
+	return sum, nil
+}

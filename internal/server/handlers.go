@@ -10,6 +10,7 @@ import (
 	"repro/internal/dimemas"
 	"repro/internal/gearopt"
 	"repro/internal/powercap"
+	"repro/internal/rebalance"
 	"repro/internal/trace"
 )
 
@@ -307,6 +308,83 @@ func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return NewPowercapResponse(res), nil
+	})
+	if err != nil {
+		finishErr(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRebalance simulates the online closed loop: N drifting iterations
+// replayed off one memoized base-iteration skeleton, with the requested
+// rebalancing policy deciding when to re-solve gears. The request context is
+// polled every iteration, so a timed-out request stops mid-loop and frees
+// its in-flight slot promptly.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var req RebalanceRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	resp, err := call(ctx, func() (*RebalanceResponse, error) {
+		if req.Iterations < 0 || req.Iterations > MaxRebalanceIterations {
+			return nil, errRebalanceIterations(req.Iterations)
+		}
+		policy := rebalance.PolicyThreshold
+		if req.Policy != "" {
+			var err error
+			policy, err = rebalance.ParsePolicy(strings.ToLower(req.Policy))
+			if err != nil {
+				return nil, err
+			}
+		}
+		algo, err := parseAlgorithm(req.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		set, err := req.GearSet.set()
+		if err != nil {
+			return nil, err
+		}
+		drift, err := req.Drift.drift()
+		if err != nil {
+			return nil, err
+		}
+		tr, err := s.traceFor(ctx, req.Trace)
+		if err != nil {
+			return nil, err
+		}
+		beta, betaSet := betaArg(req.Beta)
+		res, err := rebalance.Run(rebalance.Config{
+			Trace:            tr,
+			Platform:         s.platform,
+			Power:            s.power,
+			Set:              set,
+			Algorithm:        algo,
+			Beta:             beta,
+			BetaSet:          betaSet,
+			FMax:             req.FMax,
+			Iterations:       req.Iterations,
+			Drift:            drift,
+			Policy:           policy,
+			Period:           req.Period,
+			Threshold:        req.Threshold,
+			Hysteresis:       req.Hysteresis,
+			Margin:           req.Margin,
+			Cap:              req.Cap,
+			ReassignOverhead: req.ReassignOverhead,
+			ExactPeaks:       req.ExactPeaks,
+			// Inline traces share their base-iteration skeleton within the
+			// request only; generated workloads hit the daemon's LRU.
+			Cache: s.cacheFor(dimemas.NewReplayCache, req.Trace),
+			Ctx:   ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewRebalanceResponse(res), nil
 	})
 	if err != nil {
 		finishErr(s, w, err)

@@ -11,6 +11,7 @@
 //	POST /v1/analyze/batch — N gear assignments retimed off one skeleton
 //	POST /v1/gearopt       — gear-placement search over a workload list
 //	POST /v1/powercap      — gear scheduling under a cluster power budget
+//	POST /v1/rebalance     — online closed-loop rebalancing under load drift
 //	POST /v1/tracegen      — generate a Table 3 synthetic workload
 //	GET  /v1/apps          — list the Table 3 instances
 //	GET  /healthz          — liveness
@@ -157,6 +158,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/analyze/batch", s.limited("/v1/analyze/batch", s.handleAnalyzeBatch))
 	s.mux.HandleFunc("POST /v1/gearopt", s.limited("/v1/gearopt", s.handleGearOpt))
 	s.mux.HandleFunc("POST /v1/powercap", s.limited("/v1/powercap", s.handlePowercap))
+	s.mux.HandleFunc("POST /v1/rebalance", s.limited("/v1/rebalance", s.handleRebalance))
 	s.mux.HandleFunc("POST /v1/tracegen", s.limited("/v1/tracegen", s.handleTracegen))
 }
 

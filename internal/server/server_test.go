@@ -21,6 +21,7 @@ import (
 	"repro/internal/gearopt"
 	"repro/internal/power"
 	"repro/internal/powercap"
+	"repro/internal/rebalance"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -442,6 +443,14 @@ func TestValidationErrors(t *testing.T) {
 		{"powercap moves out of range", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100, "max_moves": 99999999}`},
 		{"powercap infeasible cap", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 0.001}`},
 		{"powercap beta above one", "/v1/powercap", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100, "beta": 2}`},
+		{"rebalance iterations out of range", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "iterations": 100000}`},
+		{"rebalance bad policy", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "policy": "sometimes"}`},
+		{"rebalance bad drift kind", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "drift": {"kind": "tide"}}`},
+		{"rebalance bad drift magnitude", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "drift": {"kind": "ramp", "magnitude": 2}}`},
+		{"rebalance cap without capped policy", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "cap": 100}`},
+		{"rebalance capped without cap", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "policy": "capped"}`},
+		{"rebalance capped continuous set", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "policy": "capped", "cap": 100, "gear_set": {"kind": "continuous-limited"}}`},
+		{"rebalance bad margin", "/v1/rebalance", `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "margin": 1}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
@@ -835,6 +844,75 @@ func TestPowercapByteIdenticalToLibrary(t *testing.T) {
 	}
 	if st := s.Cache().Stats(); st.Misses != misses {
 		t.Errorf("second powercap request added %d cache misses, want 0", st.Misses-misses)
+	}
+}
+
+func TestRebalanceByteIdenticalToLibrary(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := RebalanceRequest{
+		Trace:            testSpec,
+		GearSet:          GearSetSpec{Kind: "uniform"},
+		Policy:           "threshold",
+		Iterations:       12,
+		ReassignOverhead: 200e-6,
+		Drift:            DriftSpec{Kind: "ramp", Magnitude: 0.4, Jitter: 0.02, Seed: 5},
+	}
+	code, got := postJSON(t, ts.URL+"/v1/rebalance", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	tr := genTestTrace(t, testSpec)
+	six, err := dvfs.Uniform(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rebalance.Run(rebalance.Config{
+		Trace:            tr,
+		Platform:         dimemas.DefaultPlatform(),
+		Power:            power.DefaultConfig(),
+		Set:              six,
+		Policy:           rebalance.PolicyThreshold,
+		Iterations:       12,
+		ReassignOverhead: 200e-6,
+		Drift:            workload.Drift{Kind: workload.DriftRamp, Magnitude: 0.4, Jitter: 0.02, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewRebalanceResponse(res)); !bytes.Equal(got, want) {
+		t.Fatalf("rebalance response differs from library call\n got: %s\nwant: %s", got, want)
+	}
+	var resp RebalanceResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Iterations) != 12 {
+		t.Errorf("%d iterations in the series, want 12", len(resp.Iterations))
+	}
+	if resp.Reassignments < 1 {
+		t.Error("drifting run never rebalanced")
+	}
+	// A second identical request hits the memoized base-iteration skeleton.
+	misses := s.Cache().Stats().Misses
+	if code, _ := postJSON(t, ts.URL+"/v1/rebalance", req); code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	if st := s.Cache().Stats(); st.Misses != misses {
+		t.Errorf("second rebalance request added %d cache misses, want 0", st.Misses-misses)
+	}
+}
+
+// TestRebalanceTimeout: the iteration loop polls the request context, so a
+// request whose deadline fired mid-loop 504s instead of running to the end.
+func TestRebalanceTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	code, body := postJSON(t, ts.URL+"/v1/rebalance", RebalanceRequest{
+		Trace:      testSpec,
+		GearSet:    GearSetSpec{Kind: "uniform"},
+		Iterations: MaxRebalanceIterations,
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", code, body)
 	}
 }
 

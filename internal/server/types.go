@@ -12,6 +12,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/gearopt"
 	"repro/internal/powercap"
+	"repro/internal/rebalance"
 	"repro/internal/timemodel"
 	"repro/internal/workload"
 )
@@ -35,6 +36,9 @@ const (
 	// MaxPowercapMoves bounds the refinement budget of one power-cap
 	// scheduling request.
 	MaxPowercapMoves = 16384
+	// MaxRebalanceIterations bounds the online iterations of one
+	// closed-loop rebalancing request.
+	MaxRebalanceIterations = 500
 )
 
 // TraceSpec selects the trace a request operates on: either an inline trace
@@ -469,6 +473,145 @@ func NewPowercapResponse(res *powercap.Result) *PowercapResponse {
 		Redistributed: sched(res.Redistributed),
 		Evaluations:   res.Evaluations,
 	}
+}
+
+// DriftSpec describes the load-drift model of a rebalancing request.
+type DriftSpec struct {
+	// Kind is one of "none" (default), "ramp", "walk" or "step".
+	Kind string `json:"kind,omitempty"`
+	// Magnitude is the drift strength (see workload.Drift).
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// Jitter is the per-iteration multiplicative noise σ.
+	Jitter float64 `json:"jitter,omitempty"`
+	// StepAt is the first shifted iteration for the step kind (0 = mid-run).
+	StepAt int `json:"step_at,omitempty"`
+	// Seed makes the drift sequence deterministic (0 = fixed default).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// drift builds the workload.Drift the spec describes.
+func (d *DriftSpec) drift() (workload.Drift, error) {
+	kind := workload.DriftNone
+	if d.Kind != "" {
+		var err error
+		kind, err = workload.ParseDriftKind(strings.ToLower(d.Kind))
+		if err != nil {
+			return workload.Drift{}, fmt.Errorf("drift: %w", err)
+		}
+	}
+	out := workload.Drift{
+		Kind:      kind,
+		Magnitude: d.Magnitude,
+		Jitter:    d.Jitter,
+		StepAt:    d.StepAt,
+		Seed:      d.Seed,
+	}
+	if err := out.Validate(); err != nil {
+		return workload.Drift{}, err
+	}
+	return out, nil
+}
+
+// RebalanceRequest is the body of POST /v1/rebalance: simulate an
+// application over N online iterations with drifting per-rank load and a
+// pluggable rebalancing policy (see internal/rebalance).
+type RebalanceRequest struct {
+	Trace TraceSpec `json:"trace"`
+	// GearSet must describe a discrete set for the capped policy.
+	GearSet GearSetSpec `json:"gear_set"`
+	// Algorithm selects the per-re-solve balancing rule: "MAX" (default)
+	// or "AVG". Ignored by the capped policy.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Policy is one of "never", "every-k", "threshold" (default) or
+	// "capped".
+	Policy string `json:"policy,omitempty"`
+	// Iterations is the number of online iterations (default 20, max 500).
+	Iterations int `json:"iterations,omitempty"`
+	// Period is the every-k policy's re-solve interval (default 1).
+	Period int `json:"period,omitempty"`
+	// Threshold and Hysteresis parameterize the degradation trigger.
+	Threshold  float64 `json:"threshold,omitempty"`
+	Hysteresis int     `json:"hysteresis,omitempty"`
+	// Margin is the guard band left below the balancing target.
+	Margin float64 `json:"margin,omitempty"`
+	// Cap is the capped policy's peak cluster power budget (model watts).
+	Cap float64 `json:"cap,omitempty"`
+	// ReassignOverhead is the seconds charged to an iteration whose gears
+	// changed.
+	ReassignOverhead float64 `json:"reassign_overhead,omitempty"`
+	// ExactPeaks reports exact per-iteration profile peaks instead of the
+	// all-compute bound.
+	ExactPeaks bool `json:"exact_peaks,omitempty"`
+	// Drift describes how per-rank load evolves between iterations.
+	Drift DriftSpec `json:"drift,omitempty"`
+	// Beta is the memory-boundedness parameter. Absent means the paper's
+	// default 0.5; an explicit 0 is honored.
+	Beta *float64 `json:"beta,omitempty"`
+	FMax float64  `json:"fmax,omitempty"`
+}
+
+// RebalanceIterationBody is one online iteration on the wire.
+type RebalanceIterationBody struct {
+	Time       float64 `json:"time"`
+	Energy     float64 `json:"energy"`
+	PeakPower  float64 `json:"peak_power"`
+	LB         float64 `json:"lb"`
+	Rebalanced bool    `json:"rebalanced,omitempty"`
+}
+
+// RebalanceResponse is the body of a successful POST /v1/rebalance.
+type RebalanceResponse struct {
+	App           string                   `json:"app"`
+	Policy        string                   `json:"policy"`
+	Iterations    []RebalanceIterationBody `json:"iterations"`
+	TotalTime     float64                  `json:"total_time"`
+	TotalEnergy   float64                  `json:"total_energy"`
+	PeakPower     float64                  `json:"peak_power"`
+	OrigTime      float64                  `json:"orig_time"`
+	OrigEnergy    float64                  `json:"orig_energy"`
+	Norm          NormBody                 `json:"norm"`
+	Reassignments int                      `json:"reassignments"`
+	GearSwitches  int                      `json:"gear_switches"`
+	MeanLB        float64                  `json:"mean_lb"`
+	MinLB         float64                  `json:"min_lb"`
+	FinalFreqs    []float64                `json:"final_freqs"`
+}
+
+// NewRebalanceResponse builds the wire form of a closed-loop result.
+func NewRebalanceResponse(res *rebalance.Result) *RebalanceResponse {
+	out := &RebalanceResponse{
+		App:           res.App,
+		Policy:        res.Policy.String(),
+		Iterations:    make([]RebalanceIterationBody, len(res.Iterations)),
+		TotalTime:     res.TotalTime,
+		TotalEnergy:   res.TotalEnergy,
+		PeakPower:     res.PeakPower,
+		OrigTime:      res.OrigTime,
+		OrigEnergy:    res.OrigEnergy,
+		Norm:          NormBody{Energy: res.Norm.Energy, Time: res.Norm.Time, EDP: res.Norm.EDP},
+		Reassignments: res.Reassignments,
+		GearSwitches:  res.GearSwitches,
+		MeanLB:        res.MeanLB,
+		MinLB:         res.MinLB,
+		FinalFreqs:    make([]float64, len(res.FinalGears)),
+	}
+	for i, it := range res.Iterations {
+		out.Iterations[i] = RebalanceIterationBody{
+			Time:       it.Time,
+			Energy:     it.Energy,
+			PeakPower:  it.PeakPower,
+			LB:         it.LB,
+			Rebalanced: it.Rebalanced,
+		}
+	}
+	for r, g := range res.FinalGears {
+		out.FinalFreqs[r] = g.Freq
+	}
+	return out
+}
+
+func errRebalanceIterations(got int) error {
+	return fmt.Errorf("iterations: must be in [0, %d] (0 means the default 20), got %d", MaxRebalanceIterations, got)
 }
 
 // parseCapKind maps the wire name onto the budget kind.

@@ -1,0 +1,197 @@
+package workload
+
+// Load drift: the online-rebalancing counterpart of the static load shapes
+// above. Where the shape generators (noisyLoads, rampLoads, ...) fix one
+// per-rank load vector for the whole run, a Drift describes how that vector
+// evolves *between* iterations — the reason a profile-once gear assignment
+// goes stale and a runtime has to rebalance. internal/rebalance replays one
+// iteration skeleton under these factors via dimemas.Skeleton.RetimeScaled.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DriftKind enumerates how per-rank computation load evolves across
+// iterations.
+type DriftKind int
+
+const (
+	// DriftNone keeps every rank's load constant (factor exactly 1.0);
+	// only Jitter, if any, perturbs iterations.
+	DriftNone DriftKind = iota
+	// DriftRamp tilts the load distribution progressively: over the run,
+	// low ranks gain up to +Magnitude of load while high ranks lose the
+	// same fraction — the imbalance profile migrates across the machine,
+	// steadily invalidating a profile-once assignment.
+	DriftRamp
+	// DriftWalk evolves each rank's load as an independent multiplicative
+	// random walk with per-iteration log-scale Magnitude (clamped to
+	// [0.25, 4]): slow, unstructured divergence.
+	DriftWalk
+	// DriftStep applies the ramp's full ±Magnitude tilt all at once from
+	// iteration StepAt on: a sudden phase change (adaptive mesh refinement,
+	// a new input block) that tests how fast a policy re-converges.
+	DriftStep
+)
+
+func (k DriftKind) String() string {
+	switch k {
+	case DriftNone:
+		return "none"
+	case DriftRamp:
+		return "ramp"
+	case DriftWalk:
+		return "walk"
+	case DriftStep:
+		return "step"
+	default:
+		return fmt.Sprintf("DriftKind(%d)", int(k))
+	}
+}
+
+// ParseDriftKind is the inverse of DriftKind.String (for wire and CLI use).
+func ParseDriftKind(s string) (DriftKind, error) {
+	for k := DriftNone; k <= DriftStep; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown drift kind %q (want none, ramp, walk or step)", s)
+}
+
+// Drift describes how per-rank computation load evolves between iterations
+// of an online run. The zero value means perfectly static loads: Factors
+// returns exactly 1.0 everywhere, so a drift-free run is bit-identical to
+// replaying the base iteration unchanged.
+type Drift struct {
+	// Kind selects the drift shape.
+	Kind DriftKind
+	// Magnitude is the drift strength: the full tilt fraction for
+	// DriftRamp/DriftStep (rank loads end up in [1−M, 1+M]), the
+	// per-iteration log-scale of the walk for DriftWalk. Must be in [0, 1)
+	// for ramp/step (a rank's load cannot go negative) and non-negative
+	// for walk. Ignored for DriftNone.
+	Magnitude float64
+	// Jitter is the σ of independent multiplicative log-normal noise
+	// applied to every (iteration, rank) on top of the drift — transient
+	// run-to-run variation that a good trigger should *not* chase.
+	Jitter float64
+	// StepAt is the first iteration with shifted loads for DriftStep;
+	// 0 means the middle of the run.
+	StepAt int
+	// Seed makes the factor sequence deterministic; 0 selects a fixed
+	// default seed.
+	Seed int64
+}
+
+// Validate checks the drift parameters.
+func (d Drift) Validate() error {
+	switch d.Kind {
+	case DriftNone, DriftWalk:
+		if d.Magnitude < 0 || math.IsNaN(d.Magnitude) || math.IsInf(d.Magnitude, 0) {
+			return fmt.Errorf("workload: drift magnitude must be finite and non-negative, got %v", d.Magnitude)
+		}
+	case DriftRamp, DriftStep:
+		if d.Magnitude < 0 || d.Magnitude >= 1 || math.IsNaN(d.Magnitude) {
+			return fmt.Errorf("workload: %s drift magnitude must be in [0, 1), got %v", d.Kind, d.Magnitude)
+		}
+	default:
+		return fmt.Errorf("workload: unknown drift kind %d", int(d.Kind))
+	}
+	if d.Jitter < 0 || math.IsNaN(d.Jitter) || math.IsInf(d.Jitter, 0) {
+		return fmt.Errorf("workload: drift jitter must be finite and non-negative, got %v", d.Jitter)
+	}
+	if d.StepAt < 0 {
+		return fmt.Errorf("workload: drift step iteration must be non-negative, got %d", d.StepAt)
+	}
+	return nil
+}
+
+// walkClamp bounds the random walk so a rank's load cannot collapse to
+// nothing or explode without limit.
+const (
+	walkMin = 0.25
+	walkMax = 4.0
+)
+
+// Factors returns the per-rank load multipliers of iterations [0, iters):
+// out[i][r] scales rank r's computation in iteration i relative to the base
+// iteration. Deterministic for a given (Drift, n, iters). The zero-value
+// Drift yields the constant 1.0 — exactly, so downstream replays are
+// bit-identical to the undrifted ones.
+func (d Drift) Factors(n, iters int) ([][]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("workload: drift factors need positive ranks and iterations, got %d × %d", n, iters)
+	}
+	seed := d.Seed
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stepAt := d.StepAt
+	if d.Kind == DriftStep && stepAt == 0 {
+		stepAt = iters / 2
+	}
+
+	// tilt is the ramp/step direction: rank 0 gains load, the last rank
+	// sheds it — reversed against the ascending base shapes (WRF,
+	// SPECFEM3D), so the drift reorders which ranks are critical instead
+	// of merely deepening the existing imbalance.
+	tilt := func(r int) float64 {
+		if n == 1 {
+			return 0
+		}
+		return 1 - 2*float64(r)/float64(n-1)
+	}
+
+	walk := make([]float64, n)
+	for r := range walk {
+		walk[r] = 1
+	}
+	out := make([][]float64, iters)
+	for i := 0; i < iters; i++ {
+		row := make([]float64, n)
+		if d.Kind == DriftWalk && i > 0 && d.Magnitude > 0 {
+			for r := range walk {
+				walk[r] *= math.Exp(rng.NormFloat64() * d.Magnitude)
+				if walk[r] < walkMin {
+					walk[r] = walkMin
+				} else if walk[r] > walkMax {
+					walk[r] = walkMax
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			switch d.Kind {
+			case DriftRamp:
+				progress := 0.0
+				if iters > 1 {
+					progress = float64(i) / float64(iters-1)
+				}
+				row[r] = 1 + d.Magnitude*progress*tilt(r)
+			case DriftWalk:
+				row[r] = walk[r]
+			case DriftStep:
+				if i >= stepAt {
+					row[r] = 1 + d.Magnitude*tilt(r)
+				} else {
+					row[r] = 1
+				}
+			default: // DriftNone
+				row[r] = 1
+			}
+		}
+		if d.Jitter > 0 {
+			for r := 0; r < n; r++ {
+				row[r] *= math.Exp(rng.NormFloat64() * d.Jitter)
+			}
+		}
+		out[i] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftZeroValueIsExactlyOne(t *testing.T) {
+	fs, err := Drift{}.Factors(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 12 {
+		t.Fatalf("%d iterations, want 12", len(fs))
+	}
+	for i, row := range fs {
+		if len(row) != 8 {
+			t.Fatalf("iteration %d has %d ranks, want 8", i, len(row))
+		}
+		for r, f := range row {
+			if f != 1.0 {
+				t.Fatalf("iteration %d rank %d: factor %v, want exactly 1.0", i, r, f)
+			}
+		}
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	for _, d := range []Drift{
+		{Kind: DriftRamp, Magnitude: 0.5, Jitter: 0.03, Seed: 7},
+		{Kind: DriftWalk, Magnitude: 0.05, Jitter: 0.02, Seed: 7},
+		{Kind: DriftStep, Magnitude: 0.4, Jitter: 0.02, Seed: 7},
+	} {
+		a, err := d.Factors(16, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Kind, err)
+		}
+		b, err := d.Factors(16, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Kind, err)
+		}
+		for i := range a {
+			for r := range a[i] {
+				if a[i][r] != b[i][r] {
+					t.Fatalf("%s: factors differ at (%d, %d): %v vs %v", d.Kind, i, r, a[i][r], b[i][r])
+				}
+			}
+		}
+		// A different seed must give a different sequence (drift or jitter
+		// is present in every case above).
+		c, err := Drift{Kind: d.Kind, Magnitude: d.Magnitude, Jitter: d.Jitter, Seed: 8}.Factors(16, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+	outer:
+		for i := range a {
+			for r := range a[i] {
+				if a[i][r] != c[i][r] {
+					same = false
+					break outer
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 7 and 8 produced identical factor sequences", d.Kind)
+		}
+	}
+}
+
+func TestDriftShapes(t *testing.T) {
+	n, iters := 16, 21
+	ramp, err := Drift{Kind: DriftRamp, Magnitude: 0.5, Seed: 3}.Factors(n, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 0 is undrifted; by the last iteration rank 0 carries
+	// 1+M and the last rank 1−M.
+	for r := 0; r < n; r++ {
+		if ramp[0][r] != 1 {
+			t.Fatalf("ramp iteration 0 rank %d: factor %v, want 1", r, ramp[0][r])
+		}
+	}
+	last := ramp[iters-1]
+	if math.Abs(last[0]-1.5) > 1e-12 || math.Abs(last[n-1]-0.5) > 1e-12 {
+		t.Errorf("ramp final tilt: rank0 %v (want 1.5), rank%d %v (want 0.5)", last[0], n-1, last[n-1])
+	}
+
+	step, err := Drift{Kind: DriftStep, Magnitude: 0.4, Seed: 3}.Factors(n, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := iters / 2
+	if step[mid-1][0] != 1 || math.Abs(step[mid][0]-1.4) > 1e-12 {
+		t.Errorf("step: rank 0 factors around the default midpoint: %v then %v", step[mid-1][0], step[mid][0])
+	}
+
+	walk, err := Drift{Kind: DriftWalk, Magnitude: 0.08, Seed: 3}.Factors(n, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range walk {
+		for r, f := range walk[i] {
+			if f < walkMin-1e-15 || f > walkMax+1e-15 {
+				t.Fatalf("walk factor (%d, %d) = %v escaped the [%v, %v] clamp", i, r, f, walkMin, walkMax)
+			}
+		}
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	cases := []Drift{
+		{Kind: DriftRamp, Magnitude: 1.0},
+		{Kind: DriftStep, Magnitude: -0.1},
+		{Kind: DriftWalk, Magnitude: math.NaN()},
+		{Kind: DriftNone, Jitter: -1},
+		{Kind: DriftNone, Jitter: math.Inf(1)},
+		{Kind: DriftKind(42)},
+		{Kind: DriftStep, Magnitude: 0.3, StepAt: -1},
+	}
+	for _, d := range cases {
+		if _, err := d.Factors(4, 4); err == nil {
+			t.Errorf("drift %+v accepted", d)
+		}
+	}
+	if _, err := (Drift{}).Factors(0, 5); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := (Drift{}).Factors(5, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
