@@ -21,11 +21,23 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
+
+// parseFaultPoint maps a -fault-points name onto the faults taxonomy.
+func parseFaultPoint(name string) (faults.Point, error) {
+	for _, p := range faults.Points() {
+		if string(p) == name {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("unknown fault point %q (known: %v)", name, faults.Points())
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -46,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cacheEntries = fs.Int("cache-entries", 512, "replay-cache LRU bound (negative = unbounded)")
 		maxBody      = fs.Int64("max-body", 8<<20, "maximum request body bytes")
 		drain        = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		faultRate    = fs.Uint64("fault-rate", 0, "inject one fault per N checks at each fault point (0 = disabled; chaos testing only)")
+		faultSeed    = fs.Uint64("fault-seed", 1, "deterministic seed for fault injection")
+		faultPoints  = fs.String("fault-points", "", "comma-separated fault points to arm (default: all; see internal/faults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,6 +79,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *drain <= 0 {
 		return fmt.Errorf("drain must be positive, got %v", *drain)
+	}
+	if *faultRate > 0 {
+		points := faults.Points()
+		if *faultPoints != "" {
+			points = points[:0]
+			for _, name := range strings.Split(*faultPoints, ",") {
+				p, err := parseFaultPoint(strings.TrimSpace(name))
+				if err != nil {
+					return err
+				}
+				points = append(points, p)
+			}
+		}
+		rates := make(map[faults.Point]uint64, len(points))
+		for _, p := range points {
+			rates[p] = *faultRate
+		}
+		faults.Enable(faults.NewRegistry(*faultSeed, rates))
+		fmt.Fprintf(stderr, "pwrsimd: WARNING: fault injection armed (seed %d, 1-in-%d at %d points) — chaos testing only\n",
+			*faultSeed, *faultRate, len(points))
+	} else if *faultPoints != "" {
+		return fmt.Errorf("fault-points requires fault-rate > 0")
 	}
 
 	srv := server.New(server.Config{

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/metrics"
 	"repro/internal/power"
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 )
@@ -128,10 +129,21 @@ func (c *Config) normalize() error {
 	return nil
 }
 
-// Run executes the full pipeline.
+// Run executes the full pipeline. Errors are stage-tagged
+// (internal/stagerr): configuration problems carry the validate stage,
+// everything past validation crosses optimize on its way out, with the
+// origin stage (skeleton/retime/cache) preserved underneath.
 func Run(cfg Config) (*Result, error) {
+	res, err := run(cfg)
+	if err != nil {
+		return nil, stagerr.Wrap(stagerr.Optimize, err)
+	}
+	return res, nil
+}
+
+func run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
-		return nil, err
+		return nil, stagerr.Wrap(stagerr.Validate, err)
 	}
 	// Warm-cache runs touch no cancellation point inside the replays; bail
 	// out here so loops of Runs (batch serving, searches) stay responsive.

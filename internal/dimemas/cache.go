@@ -6,6 +6,8 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/faults"
+	"repro/internal/stagerr"
 	"repro/internal/trace"
 )
 
@@ -190,15 +192,29 @@ func (c *ReplayCache) original(keyTrace *trace.Trace, slice int, sim *trace.Trac
 	return e.res, e.err
 }
 
-// flight single-flights compute under k. A computation aborted by its
-// caller's context is not memoized: the poisoned entry is evicted and a
-// waiter whose own context is live retries, falling back to an uncached
-// computation (a fresh, unshared entry) after repeated peer cancellations.
-// The returned error is only ever the waiter's own context error.
+// flight single-flights compute under k. Two error classes must never be
+// memoized — a computation aborted by its caller's context, and an injected
+// fault (internal/faults) — or the cache would serve a dead request's
+// cancellation, or a transient chaos fault, to every later caller. Context
+// aborts evict the entry and a waiter whose own context is live retries,
+// falling back to an uncached computation (a fresh, unshared entry) after
+// repeated peer cancellations; the returned error is only ever the waiter's
+// own context error. Injected faults evict the entry and surface to the
+// caller directly — the next lookup recomputes from scratch.
 func (c *ReplayCache) flight(k replayKey, opts Options, compute func(*replayEntry)) (*replayEntry, error) {
 	for attempt := 0; ; attempt++ {
 		e := c.entryFor(k)
-		e.once.Do(func() { compute(e) })
+		e.once.Do(func() {
+			if err := faults.Check(faults.CacheFill); err != nil {
+				e.err = stagerr.Wrap(stagerr.Cache, err)
+				return
+			}
+			compute(e)
+		})
+		if e.err != nil && faults.IsInjected(e.err) {
+			c.evict(k, e)
+			return e, nil
+		}
 		retry, direct, ctxErr := c.retryAfterCtxError(k, e, opts, attempt)
 		if ctxErr != nil {
 			return nil, ctxErr
@@ -213,6 +229,16 @@ func (c *ReplayCache) flight(k replayKey, opts Options, compute func(*replayEntr
 		}
 		return e, nil
 	}
+}
+
+// evict drops e from the cache if it is still the entry memoized under k.
+func (c *ReplayCache) evict(k replayKey, e *replayEntry) {
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok && el.Value.(*lruItem).entry == e {
+		c.lru.Remove(el)
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
 }
 
 // entryFor returns the single-flight entry for k, inserting (and possibly
@@ -247,12 +273,7 @@ func (c *ReplayCache) retryAfterCtxError(k replayKey, e *replayEntry, opts Optio
 	if e.err == nil || !isCtxErr(e.err) {
 		return false, false, nil
 	}
-	c.mu.Lock()
-	if el, ok := c.m[k]; ok && el.Value.(*lruItem).entry == e {
-		c.lru.Remove(el)
-		delete(c.m, k)
-	}
-	c.mu.Unlock()
+	c.evict(k, e)
 	if opts.Ctx != nil {
 		if own := opts.Ctx.Err(); own != nil {
 			return false, false, own
@@ -266,6 +287,33 @@ func (c *ReplayCache) retryAfterCtxError(k replayKey, e *replayEntry, opts Optio
 
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// MemoizedErrors lists the errors of every completed entry that memoized a
+// failure (for tests and diagnostics — chiefly the chaos soak's cache-
+// poisoning invariant: no entry may hold an injected fault or a context
+// error). An entry still in flight is waited on, so a quiescing test sees
+// the settled state.
+func (c *ReplayCache) MemoizedErrors() []error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	entries := make([]*replayEntry, 0, len(c.m))
+	for _, el := range c.m {
+		entries = append(entries, el.Value.(*lruItem).entry)
+	}
+	c.mu.Unlock()
+	var errs []error
+	for _, e := range entries {
+		// once.Do on a completed entry is an immediate no-op that also
+		// publishes e.err; on an in-flight one it waits for the fill.
+		e.once.Do(func() {})
+		if e.err != nil {
+			errs = append(errs, e.err)
+		}
+	}
+	return errs
 }
 
 // Len reports the number of memoized entries (for tests and diagnostics).

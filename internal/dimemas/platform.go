@@ -14,9 +14,10 @@
 package dimemas
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
+
+	"repro/internal/stagerr"
 
 	"repro/internal/trace"
 )
@@ -56,16 +57,16 @@ func DefaultPlatform() Platform {
 // Validate checks the platform parameters.
 func (p Platform) Validate() error {
 	if p.Latency < 0 || math.IsNaN(p.Latency) {
-		return fmt.Errorf("dimemas: negative latency %v", p.Latency)
+		return stagerr.Errorf(stagerr.Validate, "dimemas: negative latency %v", p.Latency)
 	}
 	if p.Bandwidth <= 0 || math.IsNaN(p.Bandwidth) {
-		return fmt.Errorf("dimemas: bandwidth must be positive, got %v", p.Bandwidth)
+		return stagerr.Errorf(stagerr.Validate, "dimemas: bandwidth must be positive, got %v", p.Bandwidth)
 	}
 	if p.EagerLimit < 0 {
-		return fmt.Errorf("dimemas: negative eager limit %d", p.EagerLimit)
+		return stagerr.Errorf(stagerr.Validate, "dimemas: negative eager limit %d", p.EagerLimit)
 	}
 	if p.Overhead < 0 {
-		return fmt.Errorf("dimemas: negative overhead %v", p.Overhead)
+		return stagerr.Errorf(stagerr.Validate, "dimemas: negative overhead %v", p.Overhead)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 )
@@ -62,10 +63,10 @@ func DefaultOptions() Options {
 // max and math.Max disagree.
 func (o *Options) validateModel() error {
 	if o.FMax <= 0 || math.IsNaN(o.FMax) {
-		return fmt.Errorf("dimemas: FMax must be positive, got %v", o.FMax)
+		return stagerr.Errorf(stagerr.Validate, "dimemas: FMax must be positive, got %v", o.FMax)
 	}
 	if o.Beta < 0 || o.Beta > 1 || math.IsNaN(o.Beta) {
-		return fmt.Errorf("dimemas: beta %v outside [0, 1]", o.Beta)
+		return stagerr.Errorf(stagerr.Validate, "dimemas: beta %v outside [0, 1]", o.Beta)
 	}
 	return nil
 }
@@ -274,7 +275,7 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 	}
 	idx := t.ReplayIndex(buildIndex).(*traceIndex)
 	if idx.err != nil {
-		return nil, idx.err
+		return nil, stagerr.Wrap(stagerr.Validate, idx.err)
 	}
 	n := idx.nranks
 	if err := opts.validateModel(); err != nil {
@@ -282,11 +283,11 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 	}
 	if opts.Freqs != nil {
 		if len(opts.Freqs) != n {
-			return nil, fmt.Errorf("dimemas: %d frequencies for %d ranks", len(opts.Freqs), n)
+			return nil, stagerr.Errorf(stagerr.Validate, "dimemas: %d frequencies for %d ranks", len(opts.Freqs), n)
 		}
 		for r, f := range opts.Freqs {
 			if f <= 0 || math.IsNaN(f) {
-				return nil, fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
+				return nil, stagerr.Errorf(stagerr.Validate, "dimemas: rank %d has invalid frequency %v", r, f)
 			}
 		}
 	}
@@ -326,7 +327,7 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 	}
 	for r := 0; r < n; r++ {
 		if int(c.ranks[r].pc) < len(t.Ranks[r]) {
-			return nil, deadlockError(t, func(r int) int { return int(c.ranks[r].pc) })
+			return nil, stagerr.Wrap(stagerr.Retime, deadlockError(t, func(r int) int { return int(c.ranks[r].pc) }))
 		}
 	}
 

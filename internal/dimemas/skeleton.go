@@ -12,10 +12,11 @@ package dimemas
 // and produces a Result bit-identical to Simulate.
 
 import (
-	"fmt"
 	"math"
 	"sync"
 
+	"repro/internal/faults"
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 )
@@ -117,10 +118,13 @@ func BuildSkeleton(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) 
 	}
 	idx := t.ReplayIndex(buildIndex).(*traceIndex)
 	if idx.err != nil {
-		return nil, idx.err
+		return nil, stagerr.Wrap(stagerr.Validate, idx.err)
 	}
 	if err := opts.validateModel(); err != nil {
 		return nil, err
+	}
+	if err := faults.Check(faults.SkeletonBuild); err != nil {
+		return nil, stagerr.Wrap(stagerr.Skeleton, err)
 	}
 	n := idx.nranks
 	s := &Skeleton{
@@ -170,7 +174,7 @@ func BuildSkeleton(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) 
 	}
 	for r := 0; r < n; r++ {
 		if int(b.pc[r]) < len(t.Ranks[r]) {
-			return nil, deadlockError(t, func(r int) int { return int(b.pc[r]) })
+			return nil, stagerr.Wrap(stagerr.Skeleton, deadlockError(t, func(r int) int { return int(b.pc[r]) }))
 		}
 	}
 	return s, nil
@@ -404,23 +408,26 @@ func (s *Skeleton) retime(res *Result, freqs, scale []float64, recordTimeline bo
 	n := s.nranks
 	if freqs != nil {
 		if len(freqs) != n {
-			return fmt.Errorf("dimemas: %d frequencies for %d ranks", len(freqs), n)
+			return stagerr.Errorf(stagerr.Validate, "dimemas: %d frequencies for %d ranks", len(freqs), n)
 		}
 		for r, f := range freqs {
 			if f <= 0 || math.IsNaN(f) {
-				return fmt.Errorf("dimemas: rank %d has invalid frequency %v", r, f)
+				return stagerr.Errorf(stagerr.Validate, "dimemas: rank %d has invalid frequency %v", r, f)
 			}
 		}
 	}
 	if scale != nil {
 		if len(scale) != n {
-			return fmt.Errorf("dimemas: %d load scales for %d ranks", len(scale), n)
+			return stagerr.Errorf(stagerr.Validate, "dimemas: %d load scales for %d ranks", len(scale), n)
 		}
 		for r, m := range scale {
 			if m < 0 || math.IsNaN(m) || math.IsInf(m, 1) {
-				return fmt.Errorf("dimemas: rank %d has invalid load scale %v", r, m)
+				return stagerr.Errorf(stagerr.Validate, "dimemas: rank %d has invalid load scale %v", r, m)
 			}
 		}
+	}
+	if err := faults.Check(faults.Retime); err != nil {
+		return stagerr.Wrap(stagerr.Retime, err)
 	}
 
 	c := retimePool.Get().(*retimeContext)

@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	for _, p := range Points() {
+		if err := Check(p); err != nil {
+			t.Fatalf("disabled Check(%s) = %v", p, err)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	fire := func(seed uint64) []uint64 {
+		r := NewRegistry(seed, map[Point]uint64{Retime: 3})
+		var fired []uint64
+		for i := 0; i < 300; i++ {
+			if err := r.check(Retime); err != nil {
+				var inj *InjectedError
+				if !errors.As(err, &inj) {
+					t.Fatalf("check returned %T, want *InjectedError", err)
+				}
+				fired = append(fired, inj.N)
+			}
+		}
+		return fired
+	}
+	a, b := fire(42), fire(42)
+	if len(a) == 0 {
+		t.Fatal("rate-3 registry fired nothing in 300 checks")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different fault pattern:\n%v\n%v", a, b)
+	}
+	if c := fire(43); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced the identical fault pattern")
+	}
+}
+
+func TestRateRoughlyHonored(t *testing.T) {
+	r := NewRegistry(7, map[Point]uint64{CacheFill: 4})
+	for i := 0; i < 4000; i++ {
+		r.check(CacheFill)
+	}
+	st := r.Stats()[CacheFill]
+	if st.Checks != 4000 {
+		t.Fatalf("checks = %d, want 4000", st.Checks)
+	}
+	// One-in-four on 4000 uniform draws: allow a generous band.
+	if st.Fired < 700 || st.Fired > 1300 {
+		t.Fatalf("rate-4 fired %d/4000, outside [700, 1300]", st.Fired)
+	}
+}
+
+func TestUnconfiguredPointNeverFires(t *testing.T) {
+	r := NewRegistry(1, map[Point]uint64{Retime: 1})
+	for i := 0; i < 100; i++ {
+		if err := r.check(TraceParse); err != nil {
+			t.Fatalf("unconfigured point fired: %v", err)
+		}
+	}
+	if err := r.check(Retime); err == nil {
+		t.Fatal("rate-1 point did not fire")
+	}
+}
+
+func TestIsInjected(t *testing.T) {
+	err := &InjectedError{Point: HandlerIO, N: 12}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected(InjectedError) = false")
+	}
+	if !IsInjected(fmt.Errorf("decoding body: %w", err)) {
+		t.Fatal("IsInjected does not see through wrapping")
+	}
+	if IsInjected(errors.New("real failure")) {
+		t.Fatal("IsInjected(plain error) = true")
+	}
+	if IsInjected(nil) {
+		t.Fatal("IsInjected(nil) = true")
+	}
+}
+
+func TestEnableDisableGlobal(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable(NewRegistry(9, map[Point]uint64{HandlerIO: 1}))
+	if err := Check(HandlerIO); err == nil {
+		t.Fatal("enabled rate-1 Check did not fire")
+	}
+	Disable()
+	if err := Check(HandlerIO); err != nil {
+		t.Fatalf("Check after Disable = %v", err)
+	}
+}
+
+func TestConcurrentChecksRace(t *testing.T) {
+	r := NewRegistry(11, map[Point]uint64{SkeletonBuild: 2, Retime: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.check(SkeletonBuild)
+				r.check(Retime)
+			}
+		}()
+	}
+	wg.Wait()
+	for p, st := range r.Stats() {
+		if st.Checks != 4000 {
+			t.Fatalf("%s: checks = %d, want 4000", p, st.Checks)
+		}
+		if st.Fired == 0 {
+			t.Fatalf("%s: nothing fired", p)
+		}
+	}
+	if r.Fired() == 0 {
+		t.Fatal("Fired() = 0")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/dimemas"
 	"repro/internal/dvfs"
 	"repro/internal/power"
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 )
@@ -220,10 +221,20 @@ func (s *searcher) objective(freqs []float64) (float64, error) {
 	return sum / float64(len(s.profiles)), nil
 }
 
-// Optimize runs the search.
+// Optimize runs the search. Errors are stage-tagged (internal/stagerr):
+// configuration problems carry the validate stage, everything else crosses
+// optimize with the origin stage preserved underneath.
 func Optimize(cfg Config) (*Result, error) {
+	res, err := optimize(cfg)
+	if err != nil {
+		return nil, stagerr.Wrap(stagerr.Optimize, err)
+	}
+	return res, nil
+}
+
+func optimize(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
-		return nil, err
+		return nil, stagerr.Wrap(stagerr.Validate, err)
 	}
 	s, err := newSearcher(cfg)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/stagerr"
 	"repro/internal/trace"
 )
 
@@ -35,6 +36,21 @@ const nsPerSecond = 1e9
 
 // ErrBadHeader reports a malformed .prv header.
 var ErrBadHeader = errors.New("paraver: malformed header")
+
+// MaxLineBytes bounds one line of a .prv stream. Real Paraver traces pack
+// whole communicator definitions on single lines, so the bound is generous;
+// a line exceeding it is reported by number instead of surfacing
+// bufio.Scanner's cryptic "token too long".
+const MaxLineBytes = 64 << 20
+
+// scanErr converts a scanner failure into a parse-stage error. line is the
+// last fully scanned line; the failure is on the next one.
+func scanErr(err error, line int) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return stagerr.Errorf(stagerr.Parse, "paraver: line %d exceeds max line length (%d bytes)", line+1, MaxLineBytes)
+	}
+	return stagerr.Wrap(stagerr.Parse, err)
+}
 
 // stateRunning is the Paraver state value meaning "useful computation".
 const stateRunning = 1
@@ -52,24 +68,24 @@ type item struct {
 // events) is irrelevant to the replay model and skipped.
 func Read(r io.Reader) (*trace.Trace, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return nil, err
+			return nil, scanErr(err, 0)
 		}
-		return nil, fmt.Errorf("%w: empty input", ErrBadHeader)
+		return nil, stagerr.Errorf(stagerr.Parse, "%w: empty input", ErrBadHeader)
 	}
 	header := sc.Text()
 	ntasks, err := parseHeader(header)
 	if err != nil {
-		return nil, err
+		return nil, stagerr.Wrap(stagerr.Parse, err)
 	}
 
 	items := make([][]item, ntasks)
 	seq := 0
 	push := func(task int, t float64, rec trace.Record) error {
 		if task < 1 || task > ntasks {
-			return fmt.Errorf("paraver: task %d out of range 1..%d", task, ntasks)
+			return stagerr.Errorf(stagerr.Parse, "paraver: task %d out of range 1..%d", task, ntasks)
 		}
 		items[task-1] = append(items[task-1], item{time: t, seq: seq, rec: rec})
 		seq++
@@ -97,11 +113,11 @@ func Read(r io.Reader) (*trace.Trace, error) {
 			continue
 		}
 		if err != nil {
-			return nil, fmt.Errorf("paraver: line %d: %w", line, err)
+			return nil, stagerr.Errorf(stagerr.Parse, "paraver: line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanErr(err, line)
 	}
 
 	out := trace.New("paraver-import", ntasks)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/stagerr"
 	"repro/internal/trace"
 )
 
@@ -85,7 +86,7 @@ func Write(w io.Writer, t *trace.Trace) error {
 				recvSeen[k]++
 				times := sendTimes[k]
 				if idx >= len(times) {
-					return fmt.Errorf("paraver: unmatched recv on rank %d (channel %d→%d tag %d)",
+					return stagerr.Errorf(stagerr.Parse, "paraver: unmatched recv on rank %d (channel %d→%d tag %d)",
 						r, st.rec.Peer, r, st.rec.Tag)
 				}
 				sTime := times[idx]

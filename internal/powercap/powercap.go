@@ -34,6 +34,7 @@ import (
 	"repro/internal/dimemas"
 	"repro/internal/dvfs"
 	"repro/internal/power"
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 )
@@ -255,9 +256,20 @@ type scheduler struct {
 
 // Run schedules the trace under the configured power cap with both policies
 // and reports their exact costs next to the uncapped reference execution.
+// Errors are stage-tagged (internal/stagerr): configuration problems carry
+// the validate stage, everything else crosses powercap with the origin
+// stage preserved underneath.
 func Run(cfg Config) (*Result, error) {
+	res, err := run(cfg)
+	if err != nil {
+		return nil, stagerr.Wrap(stagerr.Powercap, err)
+	}
+	return res, nil
+}
+
+func run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
-		return nil, err
+		return nil, stagerr.Wrap(stagerr.Validate, err)
 	}
 	pm, err := power.New(cfg.Power)
 	if err != nil {

@@ -48,6 +48,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/powercap"
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -325,13 +326,23 @@ type loop struct {
 }
 
 // Run simulates the closed loop and reports the per-iteration series plus
-// convergence metrics.
+// convergence metrics. Errors are stage-tagged (internal/stagerr):
+// configuration problems carry the validate stage, everything else crosses
+// rebalance with the origin stage preserved underneath.
 func Run(cfg Config) (*Result, error) {
+	res, err := run(cfg)
+	if err != nil {
+		return nil, stagerr.Wrap(stagerr.Rebalance, err)
+	}
+	return res, nil
+}
+
+func run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
-		return nil, err
+		return nil, stagerr.Wrap(stagerr.Validate, err)
 	}
 	if cfg.Trace.Iterations() == 0 {
-		return nil, ErrNoIterations
+		return nil, stagerr.Wrap(stagerr.Validate, ErrNoIterations)
 	}
 	pm, err := power.New(cfg.Power)
 	if err != nil {

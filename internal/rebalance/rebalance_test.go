@@ -355,7 +355,7 @@ func TestConfigValidation(t *testing.T) {
 	bare := trace.New("bare", 2)
 	bare.Add(0, trace.Compute(0.01))
 	bare.Add(1, trace.Compute(0.01))
-	if _, err := Run(Config{Trace: bare, Set: set}); err != ErrNoIterations {
+	if _, err := Run(Config{Trace: bare, Set: set}); !errors.Is(err, ErrNoIterations) {
 		t.Errorf("marker-free trace: got %v, want ErrNoIterations", err)
 	}
 }

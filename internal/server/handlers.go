@@ -11,6 +11,7 @@ import (
 	"repro/internal/gearopt"
 	"repro/internal/powercap"
 	"repro/internal/rebalance"
+	"repro/internal/stagerr"
 	"repro/internal/trace"
 )
 
@@ -59,7 +60,7 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var req ReplayRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -82,14 +83,16 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		// skeleton (bit-identical to a fresh simulation) and memoizes the
 		// baseline otherwise; a one-shot inline trace bypasses the cache
 		// (nil degrades to a plain Simulate).
-		res, err := s.cacheFor(nil, req.Trace).Replay(tr, s.platform, opts)
+		res, err := span(s, stagerr.Retime, func() (*dimemas.Result, error) {
+			return s.cacheFor(nil, req.Trace).Replay(tr, s.platform, opts)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return NewReplayResponse(tr.App, res), nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -98,7 +101,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -116,17 +119,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		beta, betaSet := betaArg(req.Beta)
-		res, err := analysis.Run(analysis.Config{
-			Trace:     tr,
-			Platform:  s.platform,
-			Power:     s.power,
-			Set:       set,
-			Algorithm: algo,
-			Beta:      beta,
-			BetaSet:   betaSet,
-			FMax:      req.FMax,
-			Cache:     s.cacheFor(nil, req.Trace),
-			Ctx:       ctx,
+		res, err := span(s, stagerr.Optimize, func() (*analysis.Result, error) {
+			return analysis.Run(analysis.Config{
+				Trace:     tr,
+				Platform:  s.platform,
+				Power:     s.power,
+				Set:       set,
+				Algorithm: algo,
+				Beta:      beta,
+				BetaSet:   betaSet,
+				FMax:      req.FMax,
+				Cache:     s.cacheFor(nil, req.Trace),
+				Ctx:       ctx,
+			})
 		})
 		if err != nil {
 			return nil, err
@@ -134,7 +139,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return NewAnalyzeResponse(set.Name(), res), nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -147,7 +152,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeBatchRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -179,17 +184,19 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, fmt.Errorf("items[%d]: %w", i, err)
 			}
-			res, err := analysis.Run(analysis.Config{
-				Trace:     tr,
-				Platform:  s.platform,
-				Power:     s.power,
-				Set:       set,
-				Algorithm: algo,
-				Beta:      beta,
-				BetaSet:   betaSet,
-				FMax:      req.FMax,
-				Cache:     cache,
-				Ctx:       ctx,
+			res, err := span(s, stagerr.Optimize, func() (*analysis.Result, error) {
+				return analysis.Run(analysis.Config{
+					Trace:     tr,
+					Platform:  s.platform,
+					Power:     s.power,
+					Set:       set,
+					Algorithm: algo,
+					Beta:      beta,
+					BetaSet:   betaSet,
+					FMax:      req.FMax,
+					Cache:     cache,
+					Ctx:       ctx,
+				})
 			})
 			if err != nil {
 				return nil, fmt.Errorf("items[%d]: %w", i, err)
@@ -199,7 +206,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		return out, nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -208,7 +215,7 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 	var req GearOptRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -232,21 +239,23 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 			return nil, errGearCount(ngears)
 		}
 		beta, betaSet := betaArg(req.Beta)
-		res, err := gearopt.Optimize(gearopt.Config{
-			Traces:    traces,
-			NGears:    ngears,
-			Platform:  s.platform,
-			Power:     s.power,
-			Beta:      beta,
-			BetaSet:   betaSet,
-			FMax:      req.FMax,
-			Grid:      req.Grid,
-			MaxRounds: req.MaxRounds,
-			// A search over any inline trace shares its replays within the
-			// request only (request-local cache) — inline trace identities
-			// never recur, so daemon-cache entries for them are dead weight.
-			Cache: s.cacheFor(dimemas.NewReplayCache, req.Traces...),
-			Ctx:   ctx,
+		res, err := span(s, stagerr.Optimize, func() (*gearopt.Result, error) {
+			return gearopt.Optimize(gearopt.Config{
+				Traces:    traces,
+				NGears:    ngears,
+				Platform:  s.platform,
+				Power:     s.power,
+				Beta:      beta,
+				BetaSet:   betaSet,
+				FMax:      req.FMax,
+				Grid:      req.Grid,
+				MaxRounds: req.MaxRounds,
+				// A search over any inline trace shares its replays within the
+				// request only (request-local cache) — inline trace identities
+				// never recur, so daemon-cache entries for them are dead weight.
+				Cache: s.cacheFor(dimemas.NewReplayCache, req.Traces...),
+				Ctx:   ctx,
+			})
 		})
 		if err != nil {
 			return nil, err
@@ -254,7 +263,7 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 		return NewGearOptResponse(res), nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -267,7 +276,7 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 	var req PowercapRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -288,21 +297,23 @@ func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		beta, betaSet := betaArg(req.Beta)
-		res, err := powercap.Run(powercap.Config{
-			Trace:    tr,
-			Platform: s.platform,
-			Power:    s.power,
-			Set:      set,
-			Cap:      req.Cap,
-			Kind:     kind,
-			Beta:     beta,
-			BetaSet:  betaSet,
-			FMax:     req.FMax,
-			MaxMoves: req.MaxMoves,
-			// Inline traces share their skeleton within the request only;
-			// generated workloads hit the daemon's LRU.
-			Cache: s.cacheFor(dimemas.NewReplayCache, req.Trace),
-			Ctx:   ctx,
+		res, err := span(s, stagerr.Powercap, func() (*powercap.Result, error) {
+			return powercap.Run(powercap.Config{
+				Trace:    tr,
+				Platform: s.platform,
+				Power:    s.power,
+				Set:      set,
+				Cap:      req.Cap,
+				Kind:     kind,
+				Beta:     beta,
+				BetaSet:  betaSet,
+				FMax:     req.FMax,
+				MaxMoves: req.MaxMoves,
+				// Inline traces share their skeleton within the request only;
+				// generated workloads hit the daemon's LRU.
+				Cache: s.cacheFor(dimemas.NewReplayCache, req.Trace),
+				Ctx:   ctx,
+			})
 		})
 		if err != nil {
 			return nil, err
@@ -310,7 +321,7 @@ func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 		return NewPowercapResponse(res), nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -324,7 +335,7 @@ func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	var req RebalanceRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -357,29 +368,31 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		beta, betaSet := betaArg(req.Beta)
-		res, err := rebalance.Run(rebalance.Config{
-			Trace:            tr,
-			Platform:         s.platform,
-			Power:            s.power,
-			Set:              set,
-			Algorithm:        algo,
-			Beta:             beta,
-			BetaSet:          betaSet,
-			FMax:             req.FMax,
-			Iterations:       req.Iterations,
-			Drift:            drift,
-			Policy:           policy,
-			Period:           req.Period,
-			Threshold:        req.Threshold,
-			Hysteresis:       req.Hysteresis,
-			Margin:           req.Margin,
-			Cap:              req.Cap,
-			ReassignOverhead: req.ReassignOverhead,
-			ExactPeaks:       req.ExactPeaks,
-			// Inline traces share their base-iteration skeleton within the
-			// request only; generated workloads hit the daemon's LRU.
-			Cache: s.cacheFor(dimemas.NewReplayCache, req.Trace),
-			Ctx:   ctx,
+		res, err := span(s, stagerr.Rebalance, func() (*rebalance.Result, error) {
+			return rebalance.Run(rebalance.Config{
+				Trace:            tr,
+				Platform:         s.platform,
+				Power:            s.power,
+				Set:              set,
+				Algorithm:        algo,
+				Beta:             beta,
+				BetaSet:          betaSet,
+				FMax:             req.FMax,
+				Iterations:       req.Iterations,
+				Drift:            drift,
+				Policy:           policy,
+				Period:           req.Period,
+				Threshold:        req.Threshold,
+				Hysteresis:       req.Hysteresis,
+				Margin:           req.Margin,
+				Cap:              req.Cap,
+				ReassignOverhead: req.ReassignOverhead,
+				ExactPeaks:       req.ExactPeaks,
+				// Inline traces share their base-iteration skeleton within the
+				// request only; generated workloads hit the daemon's LRU.
+				Cache: s.cacheFor(dimemas.NewReplayCache, req.Trace),
+				Ctx:   ctx,
+			})
 		})
 		if err != nil {
 			return nil, err
@@ -387,7 +400,7 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		return NewRebalanceResponse(res), nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -396,7 +409,7 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTracegen(w http.ResponseWriter, r *http.Request) {
 	var req TracegenRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		finishErr(s, w, r, err)
 		return
 	}
 	ctx := r.Context()
@@ -420,7 +433,7 @@ func (s *Server) handleTracegen(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		finishErr(s, w, err)
+		finishErr(s, w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dimemas"
+	"repro/internal/stagerr"
 )
 
 // routeStats accumulates request counts and latencies for one route.
@@ -18,6 +19,14 @@ type routeStats struct {
 	maxSeconds   float64
 }
 
+// stageStats accumulates error counts and latency spans for one pipeline
+// stage (internal/stagerr taxonomy).
+type stageStats struct {
+	errors       int64
+	spans        int64
+	totalSeconds float64
+}
+
 // registry collects the daemon's operational counters. All methods are safe
 // for concurrent use.
 type registry struct {
@@ -26,11 +35,17 @@ type registry struct {
 	inFlight int64
 	rejected int64
 	timeouts int64
+	panics   int64
 	routes   map[string]*routeStats
+	stages   map[stagerr.Stage]*stageStats
 }
 
 func newRegistry() *registry {
-	return &registry{start: time.Now(), routes: make(map[string]*routeStats)}
+	return &registry{
+		start:  time.Now(),
+		routes: make(map[string]*routeStats),
+		stages: make(map[stagerr.Stage]*stageStats),
+	}
 }
 
 func (g *registry) enter() {
@@ -54,6 +69,39 @@ func (g *registry) reject() {
 func (g *registry) timeout() {
 	g.mu.Lock()
 	g.timeouts++
+	g.mu.Unlock()
+}
+
+func (g *registry) panicked() {
+	g.mu.Lock()
+	g.panics++
+	g.mu.Unlock()
+}
+
+// stageFor returns (creating if needed) the stats slot of a stage. Callers
+// hold g.mu.
+func (g *registry) stageFor(st stagerr.Stage) *stageStats {
+	ss := g.stages[st]
+	if ss == nil {
+		ss = &stageStats{}
+		g.stages[st] = ss
+	}
+	return ss
+}
+
+// stageError counts one error envelope attributed to a stage.
+func (g *registry) stageError(st stagerr.Stage) {
+	g.mu.Lock()
+	g.stageFor(st).errors++
+	g.mu.Unlock()
+}
+
+// observeStage records one timed span of a pipeline stage.
+func (g *registry) observeStage(st stagerr.Stage, d time.Duration) {
+	g.mu.Lock()
+	ss := g.stageFor(st)
+	ss.spans++
+	ss.totalSeconds += d.Seconds()
 	g.mu.Unlock()
 }
 
@@ -82,7 +130,7 @@ func (g *registry) observe(route string, d time.Duration, isErr bool) {
 // shared replay cache's stats. Routes are sorted for deterministic output.
 func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
 	g.mu.Lock()
-	inFlight, rejected, timeouts := g.inFlight, g.rejected, g.timeouts
+	inFlight, rejected, timeouts, panics := g.inFlight, g.rejected, g.timeouts, g.panics
 	uptime := time.Since(g.start).Seconds()
 	routes := make([]string, 0, len(g.routes))
 	for r := range g.routes {
@@ -92,6 +140,13 @@ func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
 	snap := make(map[string]routeStats, len(g.routes))
 	for r, rs := range g.routes {
 		snap[r] = *rs
+	}
+	// Stages render zero-filled over the full taxonomy (stagerr.Stages()
+	// is in pipeline order), so scrapes are deterministic and dashboards
+	// see every stage from the first scrape on.
+	stageSnap := make(map[stagerr.Stage]stageStats, len(g.stages))
+	for st, ss := range g.stages {
+		stageSnap[st] = *ss
 	}
 	g.mu.Unlock()
 
@@ -107,6 +162,9 @@ func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
 	fmt.Fprintf(w, "# HELP pwrsimd_timeouts_total Requests aborted by the per-request timeout.\n")
 	fmt.Fprintf(w, "# TYPE pwrsimd_timeouts_total counter\n")
 	fmt.Fprintf(w, "pwrsimd_timeouts_total %d\n", timeouts)
+	fmt.Fprintf(w, "# HELP pwrsimd_panics_total Handler panics contained by the lifecycle middleware.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_panics_total counter\n")
+	fmt.Fprintf(w, "pwrsimd_panics_total %d\n", panics)
 
 	fmt.Fprintf(w, "# HELP pwrsimd_cache_hits_total Replay-cache hits.\n")
 	fmt.Fprintf(w, "# TYPE pwrsimd_cache_hits_total counter\n")
@@ -140,5 +198,21 @@ func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
 	fmt.Fprintf(w, "# TYPE pwrsimd_request_seconds_max gauge\n")
 	for _, r := range routes {
 		fmt.Fprintf(w, "pwrsimd_request_seconds_max{route=%q} %g\n", r, snap[r].maxSeconds)
+	}
+
+	fmt.Fprintf(w, "# HELP pwrsimd_stage_errors_total Error envelopes by originating pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_stage_errors_total counter\n")
+	for _, st := range stagerr.Stages() {
+		fmt.Fprintf(w, "pwrsimd_stage_errors_total{stage=%q} %d\n", st, stageSnap[st].errors)
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_stage_seconds_sum Summed latency of timed pipeline-stage spans.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_stage_seconds_sum counter\n")
+	for _, st := range stagerr.Stages() {
+		fmt.Fprintf(w, "pwrsimd_stage_seconds_sum{stage=%q} %g\n", st, stageSnap[st].totalSeconds)
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_stage_seconds_count Timed pipeline-stage spans.\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_stage_seconds_count counter\n")
+	for _, st := range stagerr.Stages() {
+		fmt.Fprintf(w, "pwrsimd_stage_seconds_count{stage=%q} %d\n", st, stageSnap[st].spans)
 	}
 }

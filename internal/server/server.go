@@ -39,7 +39,9 @@ import (
 	"time"
 
 	"repro/internal/dimemas"
+	"repro/internal/faults"
 	"repro/internal/power"
+	"repro/internal/stagerr"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -120,6 +122,7 @@ type Server struct {
 	cache    *dimemas.ReplayCache
 	reg      *registry
 	mux      *http.ServeMux
+	root     http.Handler
 	http     *http.Server
 	sem      chan struct{}
 	platform dimemas.Platform
@@ -145,7 +148,8 @@ func New(cfg Config) *Server {
 		tlru:     list.New(),
 	}
 	s.routes()
-	s.http = &http.Server{Addr: cfg.Addr, Handler: s.mux}
+	s.root = s.withLifecycle(s.mux)
+	s.http = &http.Server{Addr: cfg.Addr, Handler: s.root}
 	return s
 }
 
@@ -162,8 +166,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/tracegen", s.limited("/v1/tracegen", s.handleTracegen))
 }
 
-// Handler exposes the route table (for httptest-based tests).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the full handler chain — lifecycle middleware (request
+// IDs, panic containment) over the route table — for httptest-based tests.
+func (s *Server) Handler() http.Handler { return s.root }
 
 // Cache exposes the shared replay cache (for tests and diagnostics).
 func (s *Server) Cache() *dimemas.ReplayCache { return s.cache }
@@ -181,15 +186,24 @@ func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
 // requests to finish (bounded by ctx).
 func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
 
-// statusWriter remembers the response code for metrics.
+// statusWriter remembers the response code for metrics and whether any
+// bytes were written (so the panic recovery knows if a clean error
+// envelope is still possible).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // instrument wraps a handler with latency/error accounting.
@@ -249,7 +263,8 @@ func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.reg.reject()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("server at capacity (%d in flight)", cap(s.sem)))
+			s.writeError(w, r, http.StatusServiceUnavailable, stagerr.Serve,
+				fmt.Sprintf("server at capacity (%d in flight)", cap(s.sem)))
 			return
 		}
 		token := &semToken{release: func() { <-s.sem }}
@@ -313,6 +328,11 @@ func call[T any](ctx context.Context, f func() (T, error)) (T, error) {
 // memoized (waiters with live contexts retry, bounded, then generate
 // uncached rather than loop on repeatedly cancelled peers).
 func (s *Server) traceFor(ctx context.Context, spec TraceSpec) (*trace.Trace, error) {
+	return span(s, stagerr.Parse, func() (*trace.Trace, error) { return s.traceResolve(ctx, spec) })
+}
+
+// traceResolve is traceFor without the parse-stage span accounting.
+func (s *Server) traceResolve(ctx context.Context, spec TraceSpec) (*trace.Trace, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -406,16 +426,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(b, '\n'))
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorBody{Error: msg})
+// writeError emits the daemon's error envelope: the message, the stage the
+// failure originated in, and the request ID assigned by the lifecycle
+// middleware. Every error response, on every route, goes through here, so
+// the per-stage error counters see all of them.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, stage stagerr.Stage, msg string) {
+	s.reg.stageError(stage)
+	writeJSON(w, status, ErrorBody{
+		Error:     msg,
+		Stage:     string(stage),
+		RequestID: requestID(r.Context()),
+	})
 }
 
-// decode strictly parses a JSON request body.
+// decode strictly parses a JSON request body. It doubles as the handler-I/O
+// fault-injection point: a chaos run can make any request fail right at the
+// front door, before a slot-holding work goroutine exists.
 func decode(r *http.Request, v any) error {
+	if err := faults.Check(faults.HandlerIO); err != nil {
+		return stagerr.Wrap(stagerr.Serve, err)
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("body: %w", err)
+		return stagerr.Errorf(stagerr.Parse, "body: %w", err)
 	}
 	return nil
 }
@@ -425,15 +459,36 @@ func decode(r *http.Request, v any) error {
 // timeout accounting.
 const statusClientClosedRequest = 499
 
-// finishErr maps a pipeline error onto a status code.
-func finishErr(s *Server, w http.ResponseWriter, err error) {
+// finishErr maps a pipeline error onto a status code and an envelope. The
+// stage is the error's origin (innermost stagerr tag); untagged errors and
+// request-lifecycle outcomes (timeout, client hangup) report as the serve
+// stage. Injected faults answer 500 — the request was well-formed; the
+// server broke — where ordinary pipeline errors are the client's 400.
+func finishErr(s *Server, w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.reg.timeout()
-		writeError(w, http.StatusGatewayTimeout, "request timed out")
+		s.writeError(w, r, http.StatusGatewayTimeout, stagerr.Serve, "request timed out")
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusClientClosedRequest, "client closed request")
+		s.writeError(w, r, statusClientClosedRequest, stagerr.Serve, "client closed request")
 	default:
-		writeError(w, http.StatusBadRequest, err.Error())
+		stage := stagerr.Serve
+		if st, ok := stagerr.StageOf(err); ok {
+			stage = st
+		}
+		status := http.StatusBadRequest
+		if faults.IsInjected(err) {
+			status = http.StatusInternalServerError
+		}
+		s.writeError(w, r, status, stage, err.Error())
 	}
+}
+
+// span times one pipeline stage of a request and feeds the per-stage
+// latency metrics, passing f's result through untouched.
+func span[T any](s *Server, st stagerr.Stage, f func() (T, error)) (T, error) {
+	start := time.Now()
+	v, err := f()
+	s.reg.observeStage(st, time.Since(start))
+	return v, err
 }

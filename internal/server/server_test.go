@@ -693,7 +693,7 @@ func TestTimeoutKeepsSlotUntilWorkFinishes(t *testing.T) {
 			return struct{}{}, nil
 		})
 		if err != nil {
-			finishErr(s, w, err)
+			finishErr(s, w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})

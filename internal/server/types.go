@@ -2,8 +2,6 @@ package server
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"strings"
 
 	"repro/internal/analysis"
@@ -13,6 +11,7 @@ import (
 	"repro/internal/gearopt"
 	"repro/internal/powercap"
 	"repro/internal/rebalance"
+	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/workload"
 )
@@ -64,16 +63,16 @@ type TraceSpec struct {
 
 func (s *TraceSpec) validate() error {
 	if (s.Text == "") == (s.App == "") {
-		return fmt.Errorf("trace: exactly one of text or app is required")
+		return stagerr.New(stagerr.Validate, "trace: exactly one of text or app is required")
 	}
 	if s.Text != "" && (s.NProcs != 0 || s.Iterations != 0 || s.Quick) {
-		return fmt.Errorf("trace: nprocs/iterations/quick apply only to generated workloads")
+		return stagerr.New(stagerr.Validate, "trace: nprocs/iterations/quick apply only to generated workloads")
 	}
 	if s.Iterations < 0 || s.Iterations > MaxIterations {
-		return fmt.Errorf("trace: iterations must be in [1, %d], got %d", MaxIterations, s.Iterations)
+		return stagerr.Errorf(stagerr.Validate, "trace: iterations must be in [1, %d], got %d", MaxIterations, s.Iterations)
 	}
 	if s.NProcs < 0 || s.NProcs > MaxNProcs {
-		return fmt.Errorf("trace: nprocs must be in [2, %d], got %d", MaxNProcs, s.NProcs)
+		return stagerr.Errorf(stagerr.Validate, "trace: nprocs must be in [2, %d], got %d", MaxNProcs, s.NProcs)
 	}
 	if s.NProcs > 0 {
 		iters := s.Iterations
@@ -81,7 +80,7 @@ func (s *TraceSpec) validate() error {
 			iters = workload.DefaultConfig().Iterations
 		}
 		if s.NProcs*iters > MaxCells {
-			return fmt.Errorf("trace: nprocs × iterations = %d exceeds the per-request limit %d", s.NProcs*iters, MaxCells)
+			return stagerr.Errorf(stagerr.Validate, "trace: nprocs × iterations = %d exceeds the per-request limit %d", s.NProcs*iters, MaxCells)
 		}
 	}
 	return nil
@@ -89,10 +88,14 @@ func (s *TraceSpec) validate() error {
 
 // instance resolves the workload instance of a generated-trace spec.
 func (s *TraceSpec) instance() (workload.Instance, error) {
+	inst, err := workload.FindInstance(s.App)
 	if s.NProcs > 0 {
-		return workload.InstanceFor(s.App, s.NProcs)
+		inst, err = workload.InstanceFor(s.App, s.NProcs)
 	}
-	return workload.FindInstance(s.App)
+	if err != nil {
+		return inst, stagerr.Wrap(stagerr.Validate, err)
+	}
+	return inst, nil
 }
 
 // GearSetSpec describes a DVFS gear set in a request body.
@@ -116,7 +119,7 @@ func (g *GearSetSpec) set() (*dvfs.Set, error) {
 		n = 6
 	}
 	if n < 2 || n > MaxGears {
-		return nil, fmt.Errorf("gear_set: n must be in [2, %d], got %d", MaxGears, g.N)
+		return nil, stagerr.Errorf(stagerr.Validate, "gear_set: n must be in [2, %d], got %d", MaxGears, g.N)
 	}
 	var (
 		set *dvfs.Set
@@ -133,26 +136,26 @@ func (g *GearSetSpec) set() (*dvfs.Set, error) {
 		set = dvfs.ContinuousUnlimited()
 	case "custom":
 		if len(g.Freqs) < 2 || len(g.Freqs) > MaxGears {
-			return nil, fmt.Errorf("gear_set: custom set needs 2..%d freqs, got %d", MaxGears, len(g.Freqs))
+			return nil, stagerr.Errorf(stagerr.Validate, "gear_set: custom set needs 2..%d freqs, got %d", MaxGears, len(g.Freqs))
 		}
 		gears := make([]dvfs.Gear, len(g.Freqs))
 		for i, f := range g.Freqs {
 			if f <= 0 {
-				return nil, fmt.Errorf("gear_set: non-positive frequency %v", f)
+				return nil, stagerr.Errorf(stagerr.Validate, "gear_set: non-positive frequency %v", f)
 			}
 			gears[i] = dvfs.GearAt(f)
 		}
 		set, err = dvfs.FromGears("custom", gears)
 	default:
-		return nil, fmt.Errorf("gear_set: unknown kind %q", g.Kind)
+		return nil, stagerr.Errorf(stagerr.Validate, "gear_set: unknown kind %q", g.Kind)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("gear_set: %w", err)
+		return nil, stagerr.Errorf(stagerr.Validate, "gear_set: %w", err)
 	}
 	if g.Overclock {
 		set, err = set.WithOverclockGear(dvfs.Gear{Freq: dvfs.OverclockFreq, Volt: dvfs.OverclockVolt})
 		if err != nil {
-			return nil, fmt.Errorf("gear_set: %w", err)
+			return nil, stagerr.Errorf(stagerr.Validate, "gear_set: %w", err)
 		}
 	}
 	return set, nil
@@ -166,7 +169,7 @@ func parseAlgorithm(s string) (core.Algorithm, error) {
 	case "AVG":
 		return core.AVG, nil
 	default:
-		return 0, fmt.Errorf("algorithm: unknown %q (want MAX or AVG)", s)
+		return 0, stagerr.Errorf(stagerr.Validate, "algorithm: unknown %q (want MAX or AVG)", s)
 	}
 }
 
@@ -496,7 +499,7 @@ func (d *DriftSpec) drift() (workload.Drift, error) {
 		var err error
 		kind, err = workload.ParseDriftKind(strings.ToLower(d.Kind))
 		if err != nil {
-			return workload.Drift{}, fmt.Errorf("drift: %w", err)
+			return workload.Drift{}, stagerr.Errorf(stagerr.Validate, "drift: %w", err)
 		}
 	}
 	out := workload.Drift{
@@ -507,7 +510,7 @@ func (d *DriftSpec) drift() (workload.Drift, error) {
 		Seed:      d.Seed,
 	}
 	if err := out.Validate(); err != nil {
-		return workload.Drift{}, err
+		return workload.Drift{}, stagerr.Wrap(stagerr.Validate, err)
 	}
 	return out, nil
 }
@@ -611,7 +614,7 @@ func NewRebalanceResponse(res *rebalance.Result) *RebalanceResponse {
 }
 
 func errRebalanceIterations(got int) error {
-	return fmt.Errorf("iterations: must be in [0, %d] (0 means the default 20), got %d", MaxRebalanceIterations, got)
+	return stagerr.Errorf(stagerr.Validate, "iterations: must be in [0, %d] (0 means the default 20), got %d", MaxRebalanceIterations, got)
 }
 
 // parseCapKind maps the wire name onto the budget kind.
@@ -622,36 +625,43 @@ func parseCapKind(s string) (powercap.CapKind, error) {
 	case "average", "avg":
 		return powercap.CapAverage, nil
 	default:
-		return 0, fmt.Errorf("kind: unknown %q (want peak or average)", s)
+		return 0, stagerr.Errorf(stagerr.Validate, "kind: unknown %q (want peak or average)", s)
 	}
 }
 
-// ErrorBody is the JSON error envelope of every non-2xx response.
+// ErrorBody is the JSON error envelope of every non-2xx response. Stage is
+// the pipeline stage the failure originated in (internal/stagerr taxonomy:
+// parse, validate, skeleton, retime, optimize, powercap, rebalance, cache,
+// serve) and RequestID echoes the request's X-Request-ID (generated by the
+// server when the client sent none), so one failed call can be correlated
+// across client logs, server logs and /metrics.
 type ErrorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Stage     string `json:"stage"`
+	RequestID string `json:"request_id"`
 }
 
 // errInlineTracegen rejects tracegen requests that carry an inline trace.
-var errInlineTracegen = errors.New("tracegen: inline text traces have nothing to generate; pass app (+ nprocs)")
+var errInlineTracegen = stagerr.New(stagerr.Validate, "tracegen: inline text traces have nothing to generate; pass app (+ nprocs)")
 
 func errFreqCount(got, want int) error {
-	return fmt.Errorf("freqs: got %d frequencies for a %d-rank trace", got, want)
+	return stagerr.Errorf(stagerr.Validate, "freqs: got %d frequencies for a %d-rank trace", got, want)
 }
 
 func errTraceCount(got int) error {
-	return fmt.Errorf("traces: need 1..%d workloads, got %d", MaxGearOptTraces, got)
+	return stagerr.Errorf(stagerr.Validate, "traces: need 1..%d workloads, got %d", MaxGearOptTraces, got)
 }
 
 func errGearCount(got int) error {
-	return fmt.Errorf("ngears: at most %d gears, got %d", MaxGears, got)
+	return stagerr.Errorf(stagerr.Validate, "ngears: at most %d gears, got %d", MaxGears, got)
 }
 
 func errBatchCount(got int) error {
-	return fmt.Errorf("items: need 1..%d gear assignments, got %d", MaxBatchItems, got)
+	return stagerr.Errorf(stagerr.Validate, "items: need 1..%d gear assignments, got %d", MaxBatchItems, got)
 }
 
 func errPowercapMoves(got int) error {
-	return fmt.Errorf("max_moves: must be in [0, %d], got %d", MaxPowercapMoves, got)
+	return stagerr.Errorf(stagerr.Validate, "max_moves: must be in [0, %d], got %d", MaxPowercapMoves, got)
 }
 
 // betaArg unpacks an optional wire beta into the (value, explicit) pair the
@@ -672,12 +682,12 @@ func normalizeOptions(beta *float64, fmax float64, ctx context.Context) (dimemas
 	o := dimemas.Options{Beta: timemodel.DefaultBeta, FMax: fmax, Ctx: ctx}
 	if beta != nil {
 		if *beta < 0 || *beta > 1 {
-			return o, fmt.Errorf("beta: must be in [0, 1], got %v", *beta)
+			return o, stagerr.Errorf(stagerr.Validate, "beta: must be in [0, 1], got %v", *beta)
 		}
 		o.Beta = *beta
 	}
 	if o.FMax < 0 {
-		return o, fmt.Errorf("fmax: must be non-negative, got %v", o.FMax)
+		return o, stagerr.Errorf(stagerr.Validate, "fmax: must be non-negative, got %v", o.FMax)
 	}
 	if o.FMax == 0 {
 		o.FMax = dvfs.FMax

@@ -1,0 +1,125 @@
+// Package stagerr tags errors with the pipeline stage they crossed, in the
+// spirit of return-trace wrappers like errtrace: wrapping is a single small
+// allocation, the error message is left untouched (callers and tests see
+// exactly the text they always saw), and the provenance is recovered after
+// the fact with StageOf / Path.
+//
+// The pipeline's stage taxonomy is fixed and small:
+//
+//	parse     — reading trace text, .prv streams, request bodies
+//	validate  — request/config validation before any simulation work
+//	skeleton  — building the timing skeleton
+//	retime    — replaying/retiming a trace (the simulation engine)
+//	optimize  — policy analysis and gear-set search
+//	powercap  — gear scheduling under a power budget
+//	rebalance — the online closed-loop controller
+//	cache     — the shared replay cache (single-flight fills)
+//	serve     — HTTP lifecycle: encoding, panics, timeouts, shedding
+//
+// Errors are tagged where they originate and may be re-tagged as they cross
+// later stages; StageOf reports the innermost (origin) tag — "where it
+// died" — while Path lists every stage the error crossed, outermost first.
+// Wrapping nil returns nil, and re-wrapping with the stage already on top
+// returns the error unchanged, so call sites can tag unconditionally.
+package stagerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stage names one pipeline stage an error can cross.
+type Stage string
+
+// The stage taxonomy. Every tagged error carries one or more of these.
+const (
+	Parse     Stage = "parse"
+	Validate  Stage = "validate"
+	Skeleton  Stage = "skeleton"
+	Retime    Stage = "retime"
+	Optimize  Stage = "optimize"
+	Powercap  Stage = "powercap"
+	Rebalance Stage = "rebalance"
+	Cache     Stage = "cache"
+	Serve     Stage = "serve"
+)
+
+// Stages lists the full taxonomy (for docs, metrics pre-registration and
+// tests).
+func Stages() []Stage {
+	return []Stage{Parse, Validate, Skeleton, Retime, Optimize, Powercap, Rebalance, Cache, Serve}
+}
+
+// Error is an error tagged with the stage it crossed. Its message is the
+// wrapped error's message unchanged; the tag is carried out of band and
+// recovered with StageOf / Path.
+type Error struct {
+	stage Stage
+	err   error
+}
+
+func (e *Error) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.err }
+
+// Stage reports this wrapper's own tag (the outermost of the chain below
+// it); most callers want StageOf instead.
+func (e *Error) Stage() Stage { return e.stage }
+
+// Wrap tags err with stage. A nil err returns nil; an err already tagged
+// with stage on top is returned unchanged, so boundary functions can wrap
+// unconditionally without stacking duplicates.
+func Wrap(stage Stage, err error) error {
+	if err == nil {
+		return nil
+	}
+	if e, ok := err.(*Error); ok && e.stage == stage {
+		return err
+	}
+	return &Error{stage: stage, err: err}
+}
+
+// New builds a stage-tagged error from text.
+func New(stage Stage, text string) error {
+	return &Error{stage: stage, err: errors.New(text)}
+}
+
+// Errorf builds a stage-tagged error from a format string; %w works as in
+// fmt.Errorf.
+func Errorf(stage Stage, format string, args ...any) error {
+	return &Error{stage: stage, err: fmt.Errorf(format, args...)}
+}
+
+// StageOf reports the origin stage of err: the innermost tag on its wrap
+// chain, i.e. the stage closest to where the error was first raised. The
+// second result is false when no tag is present anywhere on the chain.
+func StageOf(err error) (Stage, bool) {
+	var (
+		found Stage
+		ok    bool
+	)
+	for err != nil {
+		if e, tagged := err.(*Error); tagged {
+			found, ok = e.stage, true
+		}
+		err = errors.Unwrap(err)
+	}
+	return found, ok
+}
+
+// Path lists the stages err crossed, outermost (closest to the caller)
+// first and origin last, collapsing consecutive duplicates. An untagged
+// error yields nil.
+func Path(err error) []Stage {
+	var out []Stage
+	for err != nil {
+		if e, tagged := err.(*Error); tagged {
+			if len(out) == 0 || out[len(out)-1] != e.stage {
+				out = append(out, e.stage)
+			}
+		}
+		err = errors.Unwrap(err)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package stagerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestWrapPreservesMessage(t *testing.T) {
+	base := errors.New("dimemas: deadlock")
+	err := Wrap(Retime, base)
+	if err.Error() != base.Error() {
+		t.Fatalf("Wrap changed the message: %q != %q", err.Error(), base.Error())
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("errors.Is does not see through the tag")
+	}
+}
+
+func TestWrapNilIsNil(t *testing.T) {
+	if Wrap(Parse, nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+}
+
+func TestWrapDoesNotStackDuplicates(t *testing.T) {
+	base := errors.New("boom")
+	once := Wrap(Cache, base)
+	twice := Wrap(Cache, once)
+	if once != twice {
+		t.Fatal("re-wrapping with the same stage allocated a new wrapper")
+	}
+}
+
+func TestStageOfReportsOrigin(t *testing.T) {
+	// An error raised in retime, annotated by optimize, re-tagged by serve:
+	// the origin is retime.
+	err := Wrap(Retime, errors.New("rank 3 has invalid frequency"))
+	err = Wrap(Optimize, fmt.Errorf("DVFS replay: %w", err))
+	err = Wrap(Serve, err)
+	stage, ok := StageOf(err)
+	if !ok || stage != Retime {
+		t.Fatalf("StageOf = %q, %v; want retime, true", stage, ok)
+	}
+}
+
+func TestStageOfUntagged(t *testing.T) {
+	if stage, ok := StageOf(errors.New("plain")); ok {
+		t.Fatalf("untagged error reported stage %q", stage)
+	}
+	if stage, ok := StageOf(nil); ok {
+		t.Fatalf("nil error reported stage %q", stage)
+	}
+}
+
+func TestPathOutermostFirst(t *testing.T) {
+	err := Wrap(Skeleton, errors.New("boom"))
+	err = Wrap(Cache, err)
+	err = Wrap(Serve, err)
+	got := Path(err)
+	want := []Stage{Serve, Cache, Skeleton}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Path = %v, want %v", got, want)
+	}
+}
+
+func TestPathCollapsesConsecutiveDuplicates(t *testing.T) {
+	// An intermediate fmt.Errorf between two identical tags still collapses.
+	err := Wrap(Parse, errors.New("bad field"))
+	err = &Error{stage: Parse, err: fmt.Errorf("line 7: %w", err)}
+	got := Path(err)
+	want := []Stage{Parse}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Path = %v, want %v", got, want)
+	}
+}
+
+func TestErrorfAndNew(t *testing.T) {
+	err := Errorf(Validate, "beta %v outside [0, 1]", 1.5)
+	if stage, ok := StageOf(err); !ok || stage != Validate {
+		t.Fatalf("Errorf stage = %q, %v", stage, ok)
+	}
+	if err.Error() != "beta 1.5 outside [0, 1]" {
+		t.Fatalf("Errorf message = %q", err.Error())
+	}
+	err = New(Serve, "panic serving request")
+	if stage, ok := StageOf(err); !ok || stage != Serve {
+		t.Fatalf("New stage = %q, %v", stage, ok)
+	}
+}
+
+func TestContextErrorsSurviveTagging(t *testing.T) {
+	err := Wrap(Retime, context.DeadlineExceeded)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("tagging hid the context error from errors.Is")
+	}
+}
+
+func TestStagesCoversTaxonomy(t *testing.T) {
+	if n := len(Stages()); n != 9 {
+		t.Fatalf("taxonomy has %d stages, want 9", n)
+	}
+}

@@ -2,10 +2,14 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/stagerr"
 )
 
 // Text trace format, one record per line, in the spirit of Dimemas
@@ -22,6 +26,22 @@ import (
 // order; ranks may interleave arbitrarily.
 
 const formatHeader = "#PWRTRACE v1"
+
+// MaxLineBytes bounds one line of trace text. bufio.Scanner's default
+// 64 KiB token limit is far too small for wide traces (a single comment or
+// a pathological record can exceed it); we raise it explicitly and, when a
+// line still exceeds it, report which line instead of surfacing the
+// cryptic "bufio.Scanner: token too long".
+const MaxLineBytes = 16 << 20
+
+// scanErr converts a scanner failure into a parse-stage error. line is the
+// last fully scanned line; the failure is on the next one.
+func scanErr(err error, line int) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return stagerr.Errorf(stagerr.Parse, "trace: line %d exceeds max line length (%d bytes)", line+1, MaxLineBytes)
+	}
+	return stagerr.Wrap(stagerr.Parse, err)
+}
 
 // Write serializes the trace in the text format.
 func Write(w io.Writer, t *Trace) error {
@@ -48,7 +68,7 @@ func Write(w io.Writer, t *Trace) error {
 			case KindIterMark:
 				_, err = fmt.Fprintf(bw, "i %d\n", r)
 			default:
-				return fmt.Errorf("trace: cannot serialize record kind %d", rec.Kind)
+				return stagerr.Errorf(stagerr.Parse, "trace: cannot serialize record kind %d", rec.Kind)
 			}
 			if err != nil {
 				return err
@@ -58,23 +78,27 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read parses a trace in the text format.
+// Read parses a trace in the text format. Failures are parse-stage errors
+// (internal/stagerr) carrying the offending line number.
 func Read(r io.Reader) (*Trace, error) {
+	if err := faults.Check(faults.TraceParse); err != nil {
+		return nil, stagerr.Wrap(stagerr.Parse, err)
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return nil, err
+			return nil, scanErr(err, 0)
 		}
-		return nil, fmt.Errorf("trace: empty input")
+		return nil, stagerr.New(stagerr.Parse, "trace: empty input")
 	}
 	header := sc.Text()
 	if !strings.HasPrefix(header, formatHeader) {
-		return nil, fmt.Errorf("trace: bad header %q", header)
+		return nil, stagerr.Errorf(stagerr.Parse, "trace: bad header %q", header)
 	}
 	app, nranks, err := parseHeader(header)
 	if err != nil {
-		return nil, err
+		return nil, stagerr.Wrap(stagerr.Parse, err)
 	}
 	t := New(app, nranks)
 	line := 1
@@ -87,12 +111,12 @@ func Read(r io.Reader) (*Trace, error) {
 		fields := strings.Fields(text)
 		rec, rank, err := parseRecord(fields, nranks)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, stagerr.Errorf(stagerr.Parse, "trace: line %d: %w", line, err)
 		}
 		t.Ranks[rank] = append(t.Ranks[rank], rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanErr(err, line)
 	}
 	return t, nil
 }
