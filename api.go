@@ -18,6 +18,7 @@ import (
 	"repro/internal/powercap"
 	"repro/internal/rebalance"
 	"repro/internal/server"
+	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -71,12 +72,32 @@ const (
 	FMax = dvfs.FMax
 	// FMin is the lowest frequency of the limited gear sets in GHz.
 	FMin = dvfs.FMin
+	// DefaultBeta is the paper's baseline memory-boundedness parameter
+	// (§3.2) — what the analysis pipeline assumes when β is left unset.
+	DefaultBeta = timemodel.DefaultBeta
 )
 
 // Analyze runs the full pipeline: replay the original execution, assign
 // per-process gears with the configured algorithm/gear set, replay the
 // rescaled execution, and account CPU energy.
 func Analyze(cfg AnalysisConfig) (*AnalysisResult, error) { return analysis.Run(cfg) }
+
+// AnalysisBatchItem is one gear assignment of a batched analysis: the gear
+// set, algorithm and rounding rule that vary per what-if question.
+type AnalysisBatchItem = analysis.BatchItem
+
+// AnalyzeBatch answers len(items) what-if questions about cfg.Trace in one
+// pass: the baseline replay and the timing skeleton are computed once and
+// every DVFS replay happens inside a single TimingSkeleton.RetimeBatch
+// walk. Each item's result is bit-identical to what Analyze returns for the
+// same parameters. The two returned slices are index-aligned with items —
+// exactly one of results[i], errs[i] is non-nil, and one bad item never
+// fails its neighbors; the error return is reserved for shared-stage
+// failures. cfg.Set/Algorithm/Rounding are ignored; RecordTimelines is
+// rejected.
+func AnalyzeBatch(cfg AnalysisConfig, items []AnalysisBatchItem) (results []*AnalysisResult, errs []error, err error) {
+	return analysis.RunBatch(cfg, items)
+}
 
 // Replay engine — the simulator underneath every experiment, exposed for
 // users who want raw executions (and for the benchmarks that track it).
@@ -100,7 +121,13 @@ func Simulate(t *Trace, p Platform, opts SimOptions) (*SimResult, error) {
 // structure recorded once, so that any per-rank gear assignment can be
 // re-timed with a single O(events) forward pass. Retime results are
 // bit-identical to Simulate at a fraction of the cost — it is what powers
-// sweeps, gear searches and the batched serving endpoint.
+// sweeps, gear searches and the batched serving endpoint. Beyond
+// Retime/RetimeScaled it offers two faster tiers, both still bit-identical:
+// RetimeDelta(state, freqs, scale) re-times only the event cone affected by
+// the ranks whose parameters changed since the previous call on the same
+// DeltaState (the optimizers' hot path), and RetimeBatch(freqSets) scores N
+// gear vectors in one struct-of-arrays walk over the schedule (the backend
+// of the /v1/analyze/batch endpoint).
 type TimingSkeleton = dimemas.Skeleton
 
 // BuildTimingSkeleton records the timing skeleton of one trace/platform
@@ -109,6 +136,17 @@ type TimingSkeleton = dimemas.Skeleton
 func BuildTimingSkeleton(t *Trace, p Platform, opts SimOptions) (*TimingSkeleton, error) {
 	return dimemas.BuildSkeleton(t, p, opts)
 }
+
+// DeltaState carries the checkpoint TimingSkeleton.RetimeDelta amortizes
+// across calls: the previous pass's per-op clocks and collective arrival
+// rows. A zero DeltaState is ready to use (the first call runs one full
+// recording pass); reuse one state per search loop and per goroutine.
+type DeltaState = dimemas.DeltaState
+
+// BatchResult holds every candidate's outcome from one
+// TimingSkeleton.RetimeBatch call in candidate-major flat arrays; At(c)
+// returns candidate c's view as a SimResult.
+type BatchResult = dimemas.BatchResult
 
 // ReplayCache memoizes baseline (all-ranks-at-FMax) replays and timing
 // skeletons keyed by (trace, β, FMax, platform). Set AnalysisConfig.Cache —

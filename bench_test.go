@@ -14,6 +14,7 @@ package repro
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
@@ -155,6 +156,69 @@ func BenchmarkRetimeWRF128(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRetimeDelta measures the optimizers' hot path on WRF-128:
+// re-scoring after a single-rank gear change through one reused DeltaState.
+// The candidate cycle is a palindromic random walk, so every evaluation —
+// including the wrap-around — dirties exactly one rank, the neighborhood
+// shape gear searches and power-cap refinement actually produce.
+func BenchmarkRetimeDelta(b *testing.B) {
+	tr, p, opts, freqs := wrfReplayInputs(b)
+	sk, err := BuildTimingSkeleton(tr, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const half = 32
+	cands := make([][]float64, 0, 2*half)
+	cur := append([]float64(nil), freqs...)
+	for i := 0; i < half; i++ {
+		cur = append([]float64(nil), cur...)
+		cur[rng.Intn(len(cur))] = 0.8 + rng.Float64()*1.5
+		cands = append(cands, cur)
+	}
+	for i := half - 2; i >= 0; i-- {
+		cands = append(cands, cands[i])
+	}
+	var st DeltaState
+	if _, err := sk.RetimeDelta(&st, freqs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.RetimeDelta(&st, cands[i%len(cands)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetimeBatch measures scoring 64 independent gear vectors on
+// WRF-128 in one struct-of-arrays schedule walk; ns/op covers the whole
+// batch (divide by 64 to compare with BenchmarkRetimeWRF128's single pass).
+func BenchmarkRetimeBatch(b *testing.B) {
+	tr, p, opts, freqs := wrfReplayInputs(b)
+	sk, err := BuildTimingSkeleton(tr, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	cands := make([][]float64, 64)
+	for c := range cands {
+		v := append([]float64(nil), freqs...)
+		v[rng.Intn(len(v))] = 0.8 + rng.Float64()*1.5
+		cands[c] = v
+	}
+	var res BatchResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.RetimeBatchInto(&res, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "candidates/op")
 }
 
 // BenchmarkAnalyzeWRF128 measures the full uncached pipeline (baseline

@@ -44,7 +44,22 @@
 //	    Drift: repro.WorkloadDrift{Kind: repro.DriftRamp, Magnitude: 0.4, Jitter: 0.02},
 //	})
 //
+// Retiming comes in four tiers, all bit-identical to Simulate:
+// TimingSkeleton.Retime re-times one gear vector in a full O(events) pass;
+// RetimeScaled folds per-rank load factors in; RetimeDelta re-times only
+// the event cone affected by the ranks whose frequency or load changed
+// since the previous call on the same DeltaState — the hot path of every
+// optimizer neighborhood search; and RetimeBatch scores N gear vectors in
+// one struct-of-arrays walk over the schedule (examples/batch shows both,
+// and /v1/analyze/batch serves RetimeBatch over HTTP):
+//
+//	sk, _ := repro.BuildTimingSkeleton(tr, repro.DefaultPlatform(), repro.SimOptions{Beta: 0.5, FMax: repro.FMax})
+//	var st repro.DeltaState
+//	res, _ := sk.RetimeDelta(&st, freqs, nil) // later calls re-time only what changed
+//	batch, _ := sk.RetimeBatch(candidates)    // batch.At(c) is candidate c's SimResult
+//
 // See the examples directory for runnable programs (examples/rebalance for
-// the closed loop), cmd/pwrsim for the experiment driver, and
-// docs/ARCHITECTURE.md for the package map and dataflow.
+// the closed loop, examples/batch for delta/batch retiming), cmd/pwrsim
+// for the experiment driver, and docs/ARCHITECTURE.md for the package map
+// and dataflow.
 package repro

@@ -104,6 +104,15 @@ func (c *Config) normalize() error {
 	if c.Set == nil {
 		return core.ErrNilSet
 	}
+	return c.normalizeShared()
+}
+
+// normalizeShared validates and defaults the fields a batched analysis
+// shares across items — everything except the per-item gear set.
+func (c *Config) normalizeShared() error {
+	if c.Trace == nil {
+		return ErrNilTrace
+	}
 	if c.Platform == (dimemas.Platform{}) {
 		c.Platform = dimemas.DefaultPlatform()
 	}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/stagerr"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func batchTestTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Iterations = 4
+	cfg.SkipPECalibration = true
+	inst, err := workload.FindInstance("IS-32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestRunBatchBitIdenticalToRun proves batched analysis exact: every item of
+// one RunBatch call must equal — bit for bit, through energies, norms, and
+// per-rank vectors — the Result an independent Run produces for the same
+// parameters.
+func TestRunBatchBitIdenticalToRun(t *testing.T) {
+	tr := batchTestTrace(t)
+	uni6, _ := dvfs.Uniform(6)
+	uni4, _ := dvfs.Uniform(4)
+	exp6, _ := dvfs.Exponential(6)
+	items := []BatchItem{
+		{Set: uni6, Algorithm: core.MAX},
+		{Set: uni6, Algorithm: core.AVG},
+		{Set: uni4, Algorithm: core.MAX, Rounding: core.RoundNearest},
+		{Set: exp6, Algorithm: core.AVG},
+	}
+	cache := dimemas.NewReplayCache()
+	cfg := Config{Trace: tr, Cache: cache}
+	results, errs, err := RunBatch(cfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		if errs[i] != nil {
+			t.Fatalf("item %d failed: %v", i, errs[i])
+		}
+		single, err := Run(Config{
+			Trace:     tr,
+			Set:       item.Set,
+			Algorithm: item.Algorithm,
+			Rounding:  item.Rounding,
+			Cache:     cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], single) {
+			t.Errorf("item %d diverged from Run:\n batch %+v\n  solo %+v", i, results[i], single)
+		}
+	}
+}
+
+// TestRunBatchUncachedMatchesCached proves the private-cache fallback (nil
+// Config.Cache) lands on identical numbers.
+func TestRunBatchUncachedMatchesCached(t *testing.T) {
+	tr := batchTestTrace(t)
+	uni6, _ := dvfs.Uniform(6)
+	items := []BatchItem{{Set: uni6, Algorithm: core.MAX}}
+	cached, errs, err := RunBatch(Config{Trace: tr, Cache: dimemas.NewReplayCache()}, items)
+	if err != nil || errs[0] != nil {
+		t.Fatal(err, errs)
+	}
+	plain, errs, err := RunBatch(Config{Trace: tr}, items)
+	if err != nil || errs[0] != nil {
+		t.Fatal(err, errs)
+	}
+	if !reflect.DeepEqual(cached[0], plain[0]) {
+		t.Error("uncached batch diverged from cached batch")
+	}
+}
+
+// TestRunBatchItemErrorsIsolated proves one bad item cannot sink the batch:
+// its slot carries the error, every other slot carries its result.
+func TestRunBatchItemErrorsIsolated(t *testing.T) {
+	tr := batchTestTrace(t)
+	uni6, _ := dvfs.Uniform(6)
+	items := []BatchItem{
+		{Set: uni6, Algorithm: core.MAX},
+		{Set: nil, Algorithm: core.MAX}, // nil gear set: item-level validate error
+		{Set: uni6, Algorithm: core.AVG},
+	}
+	results, errs, err := RunBatch(Config{Trace: tr}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] == nil || errs[0] != nil {
+		t.Errorf("item 0 should succeed: %v", errs[0])
+	}
+	if results[1] != nil || errs[1] == nil {
+		t.Error("item 1 should fail with a nil set")
+	}
+	if st, ok := stagerr.StageOf(errs[1]); !ok || st != stagerr.Validate {
+		t.Errorf("item 1 error should carry the validate stage, got %v (%v)", st, errs[1])
+	}
+	if results[2] == nil || errs[2] != nil {
+		t.Errorf("item 2 should succeed: %v", errs[2])
+	}
+}
+
+// TestRunBatchSharedFailure proves shared-stage failures reject the whole
+// call: timeline recording is not available in batch mode.
+func TestRunBatchSharedFailure(t *testing.T) {
+	tr := batchTestTrace(t)
+	uni6, _ := dvfs.Uniform(6)
+	if _, _, err := RunBatch(Config{Trace: tr, RecordTimelines: true}, []BatchItem{{Set: uni6}}); err == nil {
+		t.Error("RecordTimelines should be rejected in batch mode")
+	}
+	if _, _, err := RunBatch(Config{}, []BatchItem{{Set: uni6}}); err == nil {
+		t.Error("nil trace should fail")
+	}
+}

@@ -1,0 +1,148 @@
+package dimemas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/stagerr"
+)
+
+// TestRetimeBatchMatchesRetime pins every candidate row of a batch —
+// including nil entries, duplicate vectors and batches spanning several
+// internal chunks — to the bits of an individual Retime.
+func TestRetimeBatchMatchesRetime(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, n := range []int{2, 4, 8} {
+			for pi, p := range equivPlatforms() {
+				tr := randomValidTrace(seed*100+int64(n), n, 3, p.EagerLimit)
+				rng := rand.New(rand.NewSource(seed*131 + int64(n)))
+				for _, beta := range []float64{0, 0.5} {
+					opts := Options{Beta: beta, FMax: 2.3}
+					sk, err := BuildSkeleton(tr, p, opts)
+					if err != nil {
+						t.Fatalf("seed=%d n=%d platform=%d beta=%v: BuildSkeleton: %v", seed, n, pi, beta, err)
+					}
+					// batchChunk+3 candidates forces a short tail chunk.
+					sets := make([][]float64, batchChunk+3)
+					for c := range sets {
+						switch c % 4 {
+						case 0:
+							sets[c] = nil
+						case 1:
+							sets[c] = randomGearVector(rng, n)
+						default:
+							if c > 1 && sets[c-1] != nil {
+								sets[c] = sets[c-1] // duplicate vector
+							} else {
+								sets[c] = randomGearVector(rng, n)
+							}
+						}
+					}
+					batch, err := sk.RetimeBatch(sets)
+					if err != nil {
+						t.Fatalf("RetimeBatch: %v", err)
+					}
+					if batch.NumCandidates != len(sets) || batch.NumRanks != n {
+						t.Fatalf("batch dims %d×%d, want %d×%d", batch.NumCandidates, batch.NumRanks, len(sets), n)
+					}
+					for c := range sets {
+						want, err := sk.Retime(sets[c], false)
+						if err != nil {
+							t.Fatalf("candidate %d: Retime: %v", c, err)
+						}
+						got := batch.At(c)
+						label := fmt.Sprintf("seed=%d n=%d platform=%d beta=%v candidate=%d", seed, n, pi, beta, c)
+						mustEqualResults(t, label, &got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRetimeBatchIntoReusesArrays(t *testing.T) {
+	p := DefaultPlatform()
+	tr := randomValidTrace(55, 8, 4, p.EagerLimit)
+	sk, err := BuildSkeleton(tr, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	sets := make([][]float64, 10)
+	for c := range sets {
+		sets[c] = randomGearVector(rng, 8)
+	}
+	var res BatchResult
+	if err := sk.RetimeBatchInto(&res, sets); err != nil {
+		t.Fatal(err)
+	}
+	first := &res.Finish[0]
+	if err := sk.RetimeBatchInto(&res, sets[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if first != &res.Finish[0] {
+		t.Error("RetimeBatchInto reallocated the Finish array")
+	}
+	if res.NumCandidates != 8 {
+		t.Errorf("NumCandidates = %d, want 8", res.NumCandidates)
+	}
+	// Empty batches are legal and cheap.
+	if err := sk.RetimeBatchInto(&res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCandidates != 0 || len(res.Time) != 0 {
+		t.Errorf("empty batch left NumCandidates=%d len(Time)=%d", res.NumCandidates, len(res.Time))
+	}
+}
+
+func TestRetimeBatchValidation(t *testing.T) {
+	p := DefaultPlatform()
+	tr := randomValidTrace(77, 4, 3, p.EagerLimit)
+	sk, err := BuildSkeleton(tr, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sets [][]float64
+		want string
+	}{
+		{[][]float64{nil, {1, 1, 1}}, "dimemas: candidate 1: 3 frequencies for 4 ranks"},
+		{[][]float64{{1, 1, 1, 1}, {1, -1, 1, 1}}, "dimemas: candidate 1: rank 1 has invalid frequency -1"},
+		{[][]float64{{0, 1, 1, 1}}, "dimemas: candidate 0: rank 0 has invalid frequency 0"},
+	}
+	for i, c := range cases {
+		_, err := sk.RetimeBatch(c.sets)
+		if err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+		if err.Error() != c.want {
+			t.Errorf("case %d: error %q, want %q", i, err, c.want)
+		}
+		if stage, ok := stagerr.StageOf(err); !ok || stage != stagerr.Validate {
+			t.Errorf("case %d: stage %q, want validate", i, stage)
+		}
+	}
+}
+
+func TestRetimeBatchFaultInjection(t *testing.T) {
+	p := DefaultPlatform()
+	tr := randomValidTrace(88, 4, 3, p.EagerLimit)
+	sk, err := BuildSkeleton(tr, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(faults.NewRegistry(7, map[faults.Point]uint64{faults.Retime: 1}))
+	defer faults.Disable()
+	_, err = sk.RetimeBatch([][]float64{nil})
+	if err == nil {
+		t.Fatal("expected injected fault")
+	}
+	if !faults.IsInjected(err) {
+		t.Fatalf("error %v not marked as injected", err)
+	}
+	if stage, ok := stagerr.StageOf(err); !ok || stage != stagerr.Retime {
+		t.Fatalf("fault stage = %q, want %q", stage, stagerr.Retime)
+	}
+}

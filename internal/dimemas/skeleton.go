@@ -47,7 +47,9 @@ const (
 	// opColl retires one whole collective instance. At the final arrival
 	// every rank is parked on this instance (a collective synchronizes all
 	// ranks), so every clock IS its arrival time: one op reduces the max,
-	// adds the cost (f1) and releases everyone.
+	// adds the cost (f1) and releases everyone. arg is the collective
+	// instance index — unused by the forward retime pass, but it lets the
+	// delta retimer address per-instance checkpoint rows.
 	opColl
 )
 
@@ -75,6 +77,13 @@ type Skeleton struct {
 	overhead float64
 	ops      []skelOp
 	betas    []float64 // β overrides referenced by opComputeBeta
+
+	// Reverse lookup tables for RetimeDelta, derived from ops on first use.
+	// Building them lazily keeps one-shot Retime users (and skeleton
+	// construction) free of the extra scan; sync.Once makes the derivation
+	// safe under concurrent first calls without breaking immutability.
+	deltaOnce sync.Once
+	didx      *deltaIndex
 }
 
 // NumRanks returns the rank count of the skeleton's trace.
@@ -293,7 +302,7 @@ func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIn
 				// this rank's record matches whichever rank arrives last
 				// under any gear assignment.
 				cost := p.CollectiveCost(rec.Coll, rec.Bytes, n)
-				s.ops = append(s.ops, skelOp{kind: opColl, rank: int32(r), f1: cost})
+				s.ops = append(s.ops, skelOp{kind: opColl, rank: int32(r), f1: cost, arg: ci})
 				b.collIdx[r]++
 				b.pc[r]++
 				for o := 0; o < n; o++ {

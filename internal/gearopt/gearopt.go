@@ -55,6 +55,12 @@ type Config struct {
 	// traces share them too. Nil means uncached (skeletons are then built
 	// once per search).
 	Cache *dimemas.ReplayCache
+	// FreshReplays scores every candidate with a full skeleton pass
+	// (Skeleton.RetimeInto) instead of the default delta retiming that
+	// re-times only the ranks whose assigned frequency changed between
+	// consecutive candidates. Results are bit-identical either way (the
+	// golden tests assert it); the flag exists as a diagnostic escape hatch.
+	FreshReplays bool
 	// Ctx optionally bounds the search: it is polled between candidate
 	// evaluations and threaded into the replays, so a cancelled caller
 	// stops paying for the remaining lattice points.
@@ -86,9 +92,10 @@ type appProfile struct {
 	comp       []float64 // per-rank computation time at fmax (shared cache Result — read-only)
 	origEnergy float64
 	skel       *dimemas.Skeleton
-	res        dimemas.Result // reusable retime output
-	usage      []power.Usage  // reusable energy-accounting rows
-	freqs      []float64      // reusable per-rank frequency vector
+	res        dimemas.Result     // reusable retime output (FreshReplays path)
+	delta      dimemas.DeltaState // incremental retiming state (default path)
+	usage      []power.Usage      // reusable energy-accounting rows
+	freqs      []float64          // reusable per-rank frequency vector
 }
 
 // searcher carries the search state; it is confined to one goroutine.
@@ -205,12 +212,25 @@ func (s *searcher) objective(freqs []float64) (float64, error) {
 		for r := range p.freqs {
 			p.freqs[r] = a.Gears[r].Freq
 		}
-		if err := p.skel.RetimeInto(&p.res, p.freqs); err != nil {
-			return 0, err
+		// Neighboring lattice candidates move one gear, so consecutive
+		// assignments differ only on the ranks holding that gear: delta
+		// retiming re-times just their event cone, bit-identical to the
+		// full pass the FreshReplays escape hatch keeps around.
+		res := &p.res
+		if s.cfg.FreshReplays {
+			if err := p.skel.RetimeInto(&p.res, p.freqs); err != nil {
+				return 0, err
+			}
+		} else {
+			r, err := p.skel.RetimeDelta(&p.delta, p.freqs, nil)
+			if err != nil {
+				return 0, err
+			}
+			res = r
 		}
 		for r := range p.usage {
-			ct := p.res.Compute[r]
-			p.usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: p.res.Time - ct}
+			ct := res.Compute[r]
+			p.usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: res.Time - ct}
 		}
 		e, err := s.pm.Energy(p.usage)
 		if err != nil {

@@ -247,7 +247,9 @@ type scheduler struct {
 	sd       []float64   // per gear: β slowdown factor vs FMax
 	baseComp []float64   // per rank: computation time at FMax (read-only)
 	skel     *dimemas.Skeleton
-	res      dimemas.Result // reusable retime output
+	res      dimemas.Result     // reusable replay output (FreshReplays path)
+	delta    dimemas.DeltaState // incremental retiming state (default path)
+	cur      *dimemas.Result    // result of the last evaluate call
 	freqs    []float64
 	usage    []power.Usage
 	maxMoves int
@@ -403,9 +405,17 @@ func (s *scheduler) evaluate(idx []int) (time, energy float64, err error) {
 			return 0, 0, err
 		}
 		s.res = *fresh
-	} else if err := s.skel.RetimeInto(res, s.freqs); err != nil {
-		return 0, 0, err
+	} else {
+		// The greedy phases move one gear between consecutive evaluations,
+		// so delta retiming re-times just the affected cone — bit-identical
+		// to the full pass (and to the FreshReplays Simulate).
+		r, err := s.skel.RetimeDelta(&s.delta, s.freqs, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		res = r
 	}
+	s.cur = res
 	for r, gi := range idx {
 		s.usage[r] = power.Usage{
 			Gear:        s.gears[gi],
@@ -571,7 +581,7 @@ func (s *scheduler) redistribute() (idx []int, time, energy float64, err error) 
 	// with further shedding elsewhere; commit only strict (time, energy)
 	// improvements. Invariant maintained throughout phases 1–2: the last
 	// evaluate call scored the current idx, so criticalRank can read the
-	// retimed compute times from s.res.
+	// retimed compute times from s.cur.
 	curTime, curEnergy := m.time, m.energy
 	if !m.valid {
 		if curTime, curEnergy, err = s.evaluate(idx); err != nil {
@@ -659,7 +669,7 @@ func (s *scheduler) criticalRank(idx []int) int {
 		if gi == top {
 			continue
 		}
-		if c := s.res.Compute[r]; c > bestComp {
+		if c := s.cur.Compute[r]; c > bestComp {
 			bestComp = c
 			best = r
 		}

@@ -321,8 +321,8 @@ type loop struct {
 	chat  []float64 // per rank: observed compute de-scaled to FMax
 	c0    []float64 // per rank: base-iteration compute at FMax (trace sums)
 	usage []power.Usage
-	exec  dimemas.Result // reusable buffers (non-ExactPeaks path)
-	ref   dimemas.Result
+	dExec dimemas.DeltaState // incremental retiming, executed iteration (non-ExactPeaks)
+	dRef  dimemas.DeltaState // incremental retiming, FMax reference
 }
 
 // Run simulates the closed loop and reports the per-iteration series plus
@@ -561,15 +561,20 @@ func (l *loop) replay(scale []float64) (exec, ref *dimemas.Result, err error) {
 			return nil, nil, err
 		}
 	} else {
-		if err = l.skel.RetimeScaledInto(&l.exec, l.freqs, scale); err != nil {
+		// Drift leaves most ranks' factors — and rebalancing most gears —
+		// unchanged between consecutive iterations, so delta retiming skips
+		// the unaffected cone; bit-identical to the RetimeScaled pass the
+		// ExactPeaks branch (which needs timelines) still performs.
+		exec, err = l.skel.RetimeDelta(&l.dExec, l.freqs, scale)
+		if err != nil {
 			return nil, nil, err
 		}
-		exec = &l.exec
 	}
-	if err = l.skel.RetimeScaledInto(&l.ref, nil, scale); err != nil {
+	ref, err = l.skel.RetimeDelta(&l.dRef, nil, scale)
+	if err != nil {
 		return nil, nil, err
 	}
-	return exec, &l.ref, nil
+	return exec, ref, nil
 }
 
 // observe de-scales the executed iteration's per-rank computation times back

@@ -40,17 +40,33 @@ func chaosBody(worker, i int) (route string, body any) {
 	// fills (distinct keys) instead of settling into all-hits after the
 	// first round — the cache-fill fault point only fires on fills.
 	beta := 0.30 + 0.01*float64((worker*101+i)%40)
-	switch i % 4 {
+	switch i % 6 {
 	case 0: // memoized baseline replay → cache-fill point
-		return "/v1/replay", ReplayRequest{Trace: testSpec, Beta: &beta}
+		return "/v1/replay", ReplayRequest{Trace: testSpec, GearSpec: GearSpec{Beta: &beta}}
 	case 1: // skeleton retiming → skeleton-build + retime points
 		freqs := make([]float64, 32)
 		for j := range freqs {
 			freqs[j] = 1.4 + 0.1*float64(j%6)
 		}
-		return "/v1/replay", ReplayRequest{Trace: testSpec, Beta: &beta, Freqs: freqs}
+		return "/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, GearSpec: GearSpec{Beta: &beta}}
 	case 2: // full analysis → cache-fill + skeleton-build + retime points
-		return "/v1/analyze", AnalyzeRequest{Trace: testSpec, Beta: &beta}
+		return "/v1/analyze", AnalyzeRequest{Trace: testSpec, GearSpec: GearSpec{Beta: &beta}}
+	case 3: // batched analysis → retime point through the RetimeBatch walk
+		return "/v1/analyze/batch", AnalyzeBatchRequest{
+			Trace: testSpec,
+			Items: []AnalyzeBatchItem{
+				{Algorithm: "MAX", GearSet: GearSetSpec{Kind: "uniform"}},
+				{Algorithm: "AVG", GearSet: GearSetSpec{Kind: "exponential"}},
+			},
+			GearSpec: GearSpec{Beta: &beta},
+		}
+	case 4: // power-cap search → retime point through the RetimeDelta path
+		return "/v1/powercap", PowercapRequest{
+			Trace:    testSpec,
+			GearSet:  GearSetSpec{Kind: "uniform"},
+			Cap:      0.6 * 32 * 9.703125,
+			GearSpec: GearSpec{Beta: &beta},
+		}
 	default: // inline text → trace-parse point (uncached Simulate)
 		return "/v1/replay", ReplayRequest{Trace: TraceSpec{Text: chaosInlineTrace}}
 	}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"strings"
 	"time"
@@ -69,7 +68,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		opts, err := normalizeOptions(req.Beta, req.FMax, ctx)
+		opts, err := req.options(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +117,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		beta, betaSet := betaArg(req.Beta)
+		beta, betaSet, err := req.betaArg()
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Optimize, func() (*analysis.Result, error) {
 			return analysis.Run(analysis.Config{
 				Trace:     tr,
@@ -146,9 +148,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAnalyzeBatch answers N what-if questions about one trace in a
-// single request. The baseline replay and the timing skeleton are shared
-// through the cache, so items 2..N cost one gear assignment plus one
-// O(events) retiming each — no repeated replays.
+// single request, backed by analysis.RunBatch: the baseline replay, the
+// balance metrics and the timing skeleton are computed once, and every
+// item's DVFS replay happens inside a single Skeleton.RetimeBatch walk.
+// Item failures — a malformed gear set, an impossible assignment — land in
+// the response's error envelope ({index, error, stage}) instead of failing
+// the other items; only shared-stage failures (bad trace, bad β, baseline
+// replay) fail the request.
 func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeBatchRequest
 	if err := decode(r, &req); err != nil {
@@ -164,44 +170,76 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		// An inline trace still shares its baseline + skeleton across the
-		// batch's items — through a request-local cache rather than the
-		// daemon's LRU, whose entries it could never hit again.
-		cache := s.cacheFor(dimemas.NewReplayCache, req.Trace)
-		beta, betaSet := betaArg(req.Beta)
-		out := &AnalyzeBatchResponse{App: tr.App, Results: make([]AnalyzeResponse, 0, len(req.Items))}
+		beta, betaSet, err := req.betaArg()
+		if err != nil {
+			return nil, err
+		}
+		// Wire-level item parsing. Failures stay per-item; the survivors go
+		// to RunBatch with their request indices remembered.
+		itemErrs := make([]error, len(req.Items))
+		names := make([]string, len(req.Items))
+		batchItems := make([]analysis.BatchItem, 0, len(req.Items))
+		live := make([]int, 0, len(req.Items))
 		for i, item := range req.Items {
-			// Even all-warm-cache items cost an assignment + retiming each;
-			// stop burning the in-flight slot as soon as the request dies.
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
 			algo, err := parseAlgorithm(item.Algorithm)
 			if err != nil {
-				return nil, fmt.Errorf("items[%d]: %w", i, err)
+				itemErrs[i] = err
+				continue
 			}
 			set, err := item.GearSet.set()
 			if err != nil {
-				return nil, fmt.Errorf("items[%d]: %w", i, err)
+				itemErrs[i] = err
+				continue
 			}
-			res, err := span(s, stagerr.Optimize, func() (*analysis.Result, error) {
-				return analysis.Run(analysis.Config{
-					Trace:     tr,
-					Platform:  s.platform,
-					Power:     s.power,
-					Set:       set,
-					Algorithm: algo,
-					Beta:      beta,
-					BetaSet:   betaSet,
-					FMax:      req.FMax,
-					Cache:     cache,
-					Ctx:       ctx,
-				})
+			names[i] = set.Name()
+			batchItems = append(batchItems, analysis.BatchItem{Set: set, Algorithm: algo})
+			live = append(live, i)
+		}
+
+		out := &AnalyzeBatchResponse{App: tr.App, Results: make([]*AnalyzeResponse, len(req.Items))}
+		if len(live) > 0 {
+			type batchOut struct {
+				results []*analysis.Result
+				errs    []error
+			}
+			bo, err := span(s, stagerr.Optimize, func() (batchOut, error) {
+				results, errs, err := analysis.RunBatch(analysis.Config{
+					Trace:    tr,
+					Platform: s.platform,
+					Power:    s.power,
+					Beta:     beta,
+					BetaSet:  betaSet,
+					FMax:     req.FMax,
+					// An inline trace still shares its baseline + skeleton
+					// across the batch's items — through a request-local cache
+					// rather than the daemon's LRU, whose entries it could
+					// never hit again. (RunBatch builds its own private cache
+					// when handed nil.)
+					Cache: s.cacheFor(nil, req.Trace),
+					Ctx:   ctx,
+				}, batchItems)
+				return batchOut{results, errs}, err
 			})
 			if err != nil {
-				return nil, fmt.Errorf("items[%d]: %w", i, err)
+				return nil, err
 			}
-			out.Results = append(out.Results, *NewAnalyzeResponse(set.Name(), res))
+			for k, i := range live {
+				if bo.errs[k] != nil {
+					itemErrs[i] = bo.errs[k]
+					continue
+				}
+				out.Results[i] = NewAnalyzeResponse(names[i], bo.results[k])
+			}
+		}
+		for i, e := range itemErrs {
+			if e == nil {
+				continue
+			}
+			stage := stagerr.Optimize
+			if st, ok := stagerr.StageOf(e); ok {
+				stage = st
+			}
+			out.Errors = append(out.Errors, BatchItemError{Index: i, Error: e.Error(), Stage: string(stage)})
 		}
 		return out, nil
 	})
@@ -238,7 +276,10 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 		if ngears > MaxGears {
 			return nil, errGearCount(ngears)
 		}
-		beta, betaSet := betaArg(req.Beta)
+		beta, betaSet, err := req.betaArg()
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Optimize, func() (*gearopt.Result, error) {
 			return gearopt.Optimize(gearopt.Config{
 				Traces:    traces,
@@ -296,7 +337,10 @@ func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		beta, betaSet := betaArg(req.Beta)
+		beta, betaSet, err := req.betaArg()
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Powercap, func() (*powercap.Result, error) {
 			return powercap.Run(powercap.Config{
 				Trace:    tr,
@@ -367,7 +411,10 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		beta, betaSet := betaArg(req.Beta)
+		beta, betaSet, err := req.betaArg()
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Rebalance, func() (*rebalance.Result, error) {
 			return rebalance.Run(rebalance.Config{
 				Trace:            tr,

@@ -125,7 +125,7 @@ func TestReplayByteIdenticalToLibrary(t *testing.T) {
 	for i := range freqs {
 		freqs[i] = 1.4
 	}
-	code, got = postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, Beta: betaPtr(0.3)})
+	code, got = postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, GearSpec: GearSpec{Beta: betaPtr(0.3)}})
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, got)
 	}
@@ -559,7 +559,7 @@ func TestAnalyzeBatchByteIdenticalToLibrary(t *testing.T) {
 		{Algorithm: "AVG", GearSet: GearSetSpec{Kind: "uniform", Overclock: true}},
 		{Algorithm: "MAX", GearSet: GearSetSpec{Kind: "continuous-limited"}},
 	}
-	code, got := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{Trace: testSpec, Items: items, Beta: betaPtr(0.4)})
+	code, got := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{Trace: testSpec, Items: items, GearSpec: GearSpec{Beta: betaPtr(0.4)}})
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, got)
 	}
@@ -588,7 +588,7 @@ func TestAnalyzeBatchByteIdenticalToLibrary(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want.Results = append(want.Results, *NewAnalyzeResponse(set.Name(), res))
+		want.Results = append(want.Results, NewAnalyzeResponse(set.Name(), res))
 	}
 	if wantBytes := wire(t, want); !bytes.Equal(got, wantBytes) {
 		t.Fatalf("batch response differs from library calls\n got: %s\nwant: %s", got, wantBytes)
@@ -611,16 +611,36 @@ func TestAnalyzeBatchValidation(t *testing.T) {
 	if code, body := postJSON(t, ts.URL+"/v1/analyze/batch", over); code != http.StatusBadRequest {
 		t.Errorf("oversized batch: status %d: %s", code, body)
 	}
+	// Item-level failures do not fail the batch: the bad item leaves a null
+	// at its index and an {index, error, stage} entry in the envelope while
+	// its neighbor still gets analyzed.
 	bad := AnalyzeBatchRequest{Trace: testSpec, Items: []AnalyzeBatchItem{
 		{GearSet: GearSetSpec{Kind: "uniform"}},
 		{Algorithm: "NOPE", GearSet: GearSetSpec{Kind: "uniform"}},
 	}}
 	code, body := postJSON(t, ts.URL+"/v1/analyze/batch", bad)
-	if code != http.StatusBadRequest {
-		t.Fatalf("bad algorithm: status %d: %s", code, body)
+	if code != http.StatusOK {
+		t.Fatalf("bad algorithm item: status %d: %s", code, body)
 	}
-	if !strings.Contains(string(body), "items[1]") {
-		t.Errorf("error does not name the failing item: %s", body)
+	var resp AnalyzeBatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || resp.Results[0] == nil || resp.Results[1] != nil {
+		t.Errorf("results = %+v, want [ok, null]", resp.Results)
+	}
+	if len(resp.Errors) != 1 || resp.Errors[0].Index != 1 ||
+		resp.Errors[0].Stage != "validate" || !strings.Contains(resp.Errors[0].Error, "NOPE") {
+		t.Errorf("error envelope = %+v, want index 1 / validate / naming NOPE", resp.Errors)
+	}
+	// Shared-stage failures (an out-of-range β dooms every item) still fail
+	// the whole request.
+	if code, body := postJSON(t, ts.URL+"/v1/analyze/batch", AnalyzeBatchRequest{
+		Trace:    testSpec,
+		Items:    []AnalyzeBatchItem{{GearSet: GearSetSpec{Kind: "uniform"}}},
+		GearSpec: GearSpec{Beta: betaPtr(1.5)},
+	}); code != http.StatusBadRequest {
+		t.Errorf("shared bad beta: status %d: %s", code, body)
 	}
 }
 
@@ -926,7 +946,7 @@ func TestExplicitBetaZeroOverTheWire(t *testing.T) {
 	for i := range freqs {
 		freqs[i] = 1.1
 	}
-	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, Beta: betaPtr(0)})
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Freqs: freqs, GearSpec: GearSpec{Beta: betaPtr(0)}})
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, got)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"math"
 	"strings"
 
 	"repro/internal/analysis"
@@ -31,7 +32,10 @@ const (
 	// MaxGearOptTraces bounds the workload list of one gear-set search.
 	MaxGearOptTraces = 16
 	// MaxBatchItems bounds the gear assignments of one batched analysis.
-	MaxBatchItems = 64
+	// The batch endpoint retimes all items in one struct-of-arrays skeleton
+	// walk (dimemas.RetimeBatch), so a large batch costs little more per
+	// item than a small one.
+	MaxBatchItems = 1024
 	// MaxPowercapMoves bounds the refinement budget of one power-cap
 	// scheduling request.
 	MaxPowercapMoves = 16384
@@ -40,13 +44,14 @@ const (
 	MaxRebalanceIterations = 500
 )
 
-// TraceSpec selects the trace a request operates on: either an inline trace
+// TraceRef selects the trace a request operates on: either an inline trace
 // in the text format, or a synthetic Table 3 workload generated (and
 // memoized) server-side. Generated workloads share one trace instance per
 // (app, nprocs, iterations, quick) tuple, which is what lets the shared
 // replay cache turn repeated what-if queries on the same application into
-// cache hits.
-type TraceSpec struct {
+// cache hits. Every request type carries exactly one TraceRef (gearopt, a
+// list), so trace selection is validated in one place.
+type TraceRef struct {
 	// Text is an inline trace in the native text format. Mutually exclusive
 	// with App.
 	Text string `json:"text,omitempty"`
@@ -61,7 +66,11 @@ type TraceSpec struct {
 	Quick bool `json:"quick,omitempty"`
 }
 
-func (s *TraceSpec) validate() error {
+// TraceSpec is the pre-redesign name of TraceRef, kept as an alias so
+// existing callers and tests keep compiling; the wire format is unchanged.
+type TraceSpec = TraceRef
+
+func (s *TraceRef) validate() error {
 	if (s.Text == "") == (s.App == "") {
 		return stagerr.New(stagerr.Validate, "trace: exactly one of text or app is required")
 	}
@@ -87,7 +96,7 @@ func (s *TraceSpec) validate() error {
 }
 
 // instance resolves the workload instance of a generated-trace spec.
-func (s *TraceSpec) instance() (workload.Instance, error) {
+func (s *TraceRef) instance() (workload.Instance, error) {
 	inst, err := workload.FindInstance(s.App)
 	if s.NProcs > 0 {
 		inst, err = workload.InstanceFor(s.App, s.NProcs)
@@ -96,6 +105,62 @@ func (s *TraceSpec) instance() (workload.Instance, error) {
 		return inst, stagerr.Wrap(stagerr.Validate, err)
 	}
 	return inst, nil
+}
+
+// GearSpec holds the frequency-model parameters every simulation request
+// shares: the memory-boundedness β and the nominal top frequency. Request
+// types embed it, so its fields decode from the same top-level JSON keys
+// ("beta", "fmax") clients have always sent — the redesign deduplicated the
+// declarations and the validation, not the wire format.
+type GearSpec struct {
+	// Beta is the memory-boundedness parameter. Absent means the paper's
+	// default 0.5; an explicit 0 requests a fully memory-bound run.
+	Beta *float64 `json:"beta,omitempty"`
+	// FMax is the nominal top frequency (default 2.3 GHz).
+	FMax float64 `json:"fmax,omitempty"`
+}
+
+// validate is the one bounds check for the shared parameters; every handler
+// resolves its GearSpec through validate/options/betaArg, replacing the
+// per-request copies the pre-redesign types carried.
+func (g *GearSpec) validate() error {
+	if g.Beta != nil && (*g.Beta < 0 || *g.Beta > 1 || math.IsNaN(*g.Beta)) {
+		return stagerr.Errorf(stagerr.Validate, "beta: must be in [0, 1], got %v", *g.Beta)
+	}
+	if g.FMax < 0 {
+		return stagerr.Errorf(stagerr.Validate, "fmax: must be non-negative, got %v", g.FMax)
+	}
+	return nil
+}
+
+// betaArg unpacks the optional wire β into the (value, explicit) pair the
+// pipeline configs take: absent means "use the default", an explicit 0 means
+// a fully memory-bound β = 0 run.
+func (g *GearSpec) betaArg() (beta float64, set bool, err error) {
+	if err := g.validate(); err != nil {
+		return 0, false, err
+	}
+	if g.Beta == nil {
+		return 0, false, nil
+	}
+	return *g.Beta, true, nil
+}
+
+// options applies the same defaults the analysis pipeline uses, so a bare
+// replay request and an analyze request replay the identical baseline (and
+// therefore share a cache entry).
+func (g *GearSpec) options(ctx context.Context) (dimemas.Options, error) {
+	if err := g.validate(); err != nil {
+		return dimemas.Options{}, err
+	}
+	o := dimemas.Options{Beta: timemodel.DefaultBeta, FMax: g.FMax, Ctx: ctx}
+	if g.Beta != nil {
+		o.Beta = *g.Beta
+	}
+	if o.FMax == 0 {
+		o.FMax = dvfs.FMax
+	}
+	return o, nil
 }
 
 // GearSetSpec describes a DVFS gear set in a request body.
@@ -175,15 +240,11 @@ func parseAlgorithm(s string) (core.Algorithm, error) {
 
 // ReplayRequest is the body of POST /v1/replay.
 type ReplayRequest struct {
-	Trace TraceSpec `json:"trace"`
+	Trace TraceRef `json:"trace"`
 	// Freqs is the per-rank frequency (GHz); empty means every rank at FMax
 	// (the memoized baseline replay).
 	Freqs []float64 `json:"freqs,omitempty"`
-	// Beta is the memory-boundedness parameter. Absent means the paper's
-	// default 0.5; an explicit 0 requests a fully memory-bound replay.
-	Beta *float64 `json:"beta,omitempty"`
-	// FMax is the nominal top frequency (default 2.3 GHz).
-	FMax float64 `json:"fmax,omitempty"`
+	GearSpec
 }
 
 // ReplayResponse is the body of a successful POST /v1/replay.
@@ -210,14 +271,11 @@ func NewReplayResponse(app string, res *dimemas.Result) *ReplayResponse {
 
 // AnalyzeRequest is the body of POST /v1/analyze.
 type AnalyzeRequest struct {
-	Trace TraceSpec `json:"trace"`
+	Trace TraceRef `json:"trace"`
 	// Algorithm selects the balancing policy: "MAX" (default) or "AVG".
 	Algorithm string      `json:"algorithm,omitempty"`
 	GearSet   GearSetSpec `json:"gear_set"`
-	// Beta is the memory-boundedness parameter. Absent means the paper's
-	// default 0.5; an explicit 0 requests a fully memory-bound run.
-	Beta *float64 `json:"beta,omitempty"`
-	FMax float64  `json:"fmax,omitempty"`
+	GearSpec
 }
 
 // RunStatsBody is one simulated execution's cost on the wire.
@@ -291,36 +349,44 @@ type AnalyzeBatchItem struct {
 // skeleton, so asking 50 what-if questions costs barely more than asking
 // one.
 type AnalyzeBatchRequest struct {
-	Trace TraceSpec          `json:"trace"`
+	Trace TraceRef           `json:"trace"`
 	Items []AnalyzeBatchItem `json:"items"`
-	// Beta and FMax are shared by every item (they parameterize the
-	// skeleton the batch retimes). Absent beta means the default 0.5; an
-	// explicit 0 is honored.
-	Beta *float64 `json:"beta,omitempty"`
-	FMax float64  `json:"fmax,omitempty"`
+	// The embedded β and FMax are shared by every item (they parameterize
+	// the skeleton the batch retimes).
+	GearSpec
+}
+
+// BatchItemError reports one failed item of a batched analysis: the
+// request-items index it belongs to, the failure, and the pipeline stage
+// the failure originated in (same taxonomy as ErrorBody.Stage).
+type BatchItemError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+	Stage string `json:"stage"`
 }
 
 // AnalyzeBatchResponse is the body of a successful POST /v1/analyze/batch.
-// Results are in request-item order.
+// Results are in request-item order; a failed item leaves a null at its
+// index and adds an entry to Errors, so one bad item never sinks the other
+// 1023. All-good batches serialize exactly as before the per-item error
+// envelope existed (Errors is omitted when empty).
 type AnalyzeBatchResponse struct {
-	App     string            `json:"app"`
-	Results []AnalyzeResponse `json:"results"`
+	App     string             `json:"app"`
+	Results []*AnalyzeResponse `json:"results"`
+	Errors  []BatchItemError   `json:"errors,omitempty"`
 }
 
 // GearOptRequest is the body of POST /v1/gearopt.
 type GearOptRequest struct {
 	// Traces lists the applications the gear placement is optimized for.
-	Traces []TraceSpec `json:"traces"`
+	Traces []TraceRef `json:"traces"`
 	// NGears is the searched set size (default 6).
 	NGears int `json:"ngears,omitempty"`
 	// Grid is the search lattice step in GHz (default 0.05).
 	Grid float64 `json:"grid,omitempty"`
 	// MaxRounds bounds the coordinate-descent rounds (default 8).
 	MaxRounds int `json:"max_rounds,omitempty"`
-	// Beta is the memory-boundedness parameter. Absent means the paper's
-	// default 0.5; an explicit 0 is honored.
-	Beta *float64 `json:"beta,omitempty"`
-	FMax float64  `json:"fmax,omitempty"`
+	GearSpec
 }
 
 // GearOptResponse is the body of a successful POST /v1/gearopt.
@@ -400,7 +466,7 @@ type TracegenResponse struct {
 // under a cluster power budget with both the uniform-downshift baseline and
 // the load-aware redistribution policy.
 type PowercapRequest struct {
-	Trace TraceSpec `json:"trace"`
+	Trace TraceRef `json:"trace"`
 	// GearSet must describe a discrete set (uniform/exponential/custom).
 	GearSet GearSetSpec `json:"gear_set"`
 	// Cap is the cluster power budget in model units (required, > 0).
@@ -409,10 +475,7 @@ type PowercapRequest struct {
 	Kind string `json:"kind,omitempty"`
 	// MaxMoves bounds the redistribution refinement loop (default 4×ranks).
 	MaxMoves int `json:"max_moves,omitempty"`
-	// Beta is the memory-boundedness parameter. Absent means the paper's
-	// default 0.5; an explicit 0 is honored.
-	Beta *float64 `json:"beta,omitempty"`
-	FMax float64  `json:"fmax,omitempty"`
+	GearSpec
 }
 
 // PowercapScheduleBody is one policy's schedule on the wire.
@@ -519,7 +582,7 @@ func (d *DriftSpec) drift() (workload.Drift, error) {
 // application over N online iterations with drifting per-rank load and a
 // pluggable rebalancing policy (see internal/rebalance).
 type RebalanceRequest struct {
-	Trace TraceSpec `json:"trace"`
+	Trace TraceRef `json:"trace"`
 	// GearSet must describe a discrete set for the capped policy.
 	GearSet GearSetSpec `json:"gear_set"`
 	// Algorithm selects the per-re-solve balancing rule: "MAX" (default)
@@ -547,10 +610,7 @@ type RebalanceRequest struct {
 	ExactPeaks bool `json:"exact_peaks,omitempty"`
 	// Drift describes how per-rank load evolves between iterations.
 	Drift DriftSpec `json:"drift,omitempty"`
-	// Beta is the memory-boundedness parameter. Absent means the paper's
-	// default 0.5; an explicit 0 is honored.
-	Beta *float64 `json:"beta,omitempty"`
-	FMax float64  `json:"fmax,omitempty"`
+	GearSpec
 }
 
 // RebalanceIterationBody is one online iteration on the wire.
@@ -662,35 +722,4 @@ func errBatchCount(got int) error {
 
 func errPowercapMoves(got int) error {
 	return stagerr.Errorf(stagerr.Validate, "max_moves: must be in [0, %d], got %d", MaxPowercapMoves, got)
-}
-
-// betaArg unpacks an optional wire beta into the (value, explicit) pair the
-// pipeline configs take: absent means "use the default", an explicit 0 means
-// a fully memory-bound β = 0 run.
-func betaArg(b *float64) (beta float64, set bool) {
-	if b == nil {
-		return 0, false
-	}
-	return *b, true
-}
-
-// normalizeOptions applies the same defaults the analysis pipeline uses, so
-// a bare replay request and an analyze request replay the identical baseline
-// (and therefore share a cache entry). An absent beta means the paper's 0.5;
-// an explicit beta — including 0 — reaches the simulator unrewritten.
-func normalizeOptions(beta *float64, fmax float64, ctx context.Context) (dimemas.Options, error) {
-	o := dimemas.Options{Beta: timemodel.DefaultBeta, FMax: fmax, Ctx: ctx}
-	if beta != nil {
-		if *beta < 0 || *beta > 1 {
-			return o, stagerr.Errorf(stagerr.Validate, "beta: must be in [0, 1], got %v", *beta)
-		}
-		o.Beta = *beta
-	}
-	if o.FMax < 0 {
-		return o, stagerr.Errorf(stagerr.Validate, "fmax: must be non-negative, got %v", o.FMax)
-	}
-	if o.FMax == 0 {
-		o.FMax = dvfs.FMax
-	}
-	return o, nil
 }
