@@ -8,8 +8,8 @@
 //	pwrsimd -addr :8723 -max-inflight 16 -timeout 60s -cache-entries 512
 //
 // Endpoints: POST /v1/replay, /v1/analyze, /v1/analyze/batch, /v1/gearopt,
-// /v1/powercap, /v1/tracegen, GET /v1/apps, /healthz, /metrics. See
-// internal/server and README.md.
+// /v1/powercap, /v1/tracegen, GET /v1/apps, /healthz, /readyz, /metrics.
+// See internal/server and README.md.
 package main
 
 import (
@@ -56,8 +56,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxInFlight  = fs.Int("max-inflight", 0, "concurrent simulation requests (0 = 2×GOMAXPROCS)")
 		timeout      = fs.Duration("timeout", 60*time.Second, "per-request timeout")
 		cacheEntries = fs.Int("cache-entries", 512, "replay-cache LRU bound (negative = unbounded)")
+		traceEntries = fs.Int("trace-cache-entries", 32, "generated-workload memo LRU bound (negative = unbounded)")
 		maxBody      = fs.Int64("max-body", 8<<20, "maximum request body bytes")
 		drain        = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		drainGrace   = fs.Duration("drain-grace", 0, "keep accepting (with /readyz answering 503) this long after SIGTERM so load balancers can route around the drain")
 		faultRate    = fs.Uint64("fault-rate", 0, "inject one fault per N checks at each fault point (0 = disabled; chaos testing only)")
 		faultSeed    = fs.Uint64("fault-seed", 1, "deterministic seed for fault injection")
 		faultPoints  = fs.String("fault-points", "", "comma-separated fault points to arm (default: all; see internal/faults)")
@@ -79,6 +81,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *drain <= 0 {
 		return fmt.Errorf("drain must be positive, got %v", *drain)
+	}
+	if *drainGrace < 0 {
+		return fmt.Errorf("drain-grace must be non-negative, got %v", *drainGrace)
+	}
+	if *drainGrace >= *drain {
+		return fmt.Errorf("drain-grace (%v) must be shorter than the drain budget (%v)", *drainGrace, *drain)
 	}
 	if *faultRate > 0 {
 		points := faults.Points()
@@ -104,11 +112,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cacheEntries,
-		MaxBodyBytes:   *maxBody,
+		Addr:              *addr,
+		MaxInFlight:       *maxInFlight,
+		RequestTimeout:    *timeout,
+		CacheEntries:      *cacheEntries,
+		TraceCacheEntries: *traceEntries,
+		MaxBodyBytes:      *maxBody,
+		DrainGrace:        *drainGrace,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

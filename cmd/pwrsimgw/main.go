@@ -1,0 +1,144 @@
+// Command pwrsimgw fronts a fleet of pwrsimd backends with a consistent-
+// hash gateway: each request's (trace, platform) key always routes to the
+// same backend, keeping every shard's replay cache hot, with health-checked
+// pool membership, one hedged retry against the next ring replica, and
+// load shedding when a shard saturates. The proxied /v1/* responses are
+// byte-identical to hitting a backend directly.
+//
+// Usage:
+//
+//	pwrsimgw -backends http://10.0.0.1:8723,http://10.0.0.2:8723
+//	pwrsimgw -addr :8700 -hedge-after 250ms -warm-apps WRF-128,SPECFEM3D-64
+//
+// Endpoints: every pwrsimd /v1/* route (proxied), GET /healthz, /readyz,
+// /metrics (gateway-side counters). See internal/gateway and README.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pwrsimgw:", err)
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// run parses flags and serves until SIGINT/SIGTERM, then drains. Split
+// from main so tests can drive the flag and error paths.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pwrsimgw", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", ":8700", "listen address")
+		backends       = fs.String("backends", "", "comma-separated pwrsimd base URLs (required)")
+		vnodes         = fs.Int("vnodes", 128, "virtual nodes per backend on the hash ring")
+		maxInFlight    = fs.Int("max-inflight", 0, "concurrent proxied requests per backend (0 = 4×GOMAXPROCS)")
+		timeout        = fs.Duration("timeout", 60*time.Second, "per-request timeout, hedge included")
+		hedgeAfter     = fs.Duration("hedge-after", 500*time.Millisecond, "hedge to the next ring replica after the primary stalls this long")
+		healthInterval = fs.Duration("health-interval", time.Second, "backend /readyz polling period")
+		healthTimeout  = fs.Duration("health-timeout", 2*time.Second, "per-probe timeout")
+		maxBody        = fs.Int64("max-body", 8<<20, "maximum request body bytes")
+		warmApps       = fs.String("warm-apps", "", "comma-separated app instances to cache-warm on a backend's shard when it joins")
+		warmIters      = fs.Int("warm-iterations", 0, "generated-trace length of warming requests (0 = server default)")
+		warmQuick      = fs.Bool("warm-quick", false, "skip calibration in warming requests")
+		drain          = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	pool := splitList(*backends)
+	if len(pool) == 0 {
+		return fmt.Errorf("at least one -backends URL is required")
+	}
+	if *vnodes <= 0 {
+		return fmt.Errorf("vnodes must be positive, got %d", *vnodes)
+	}
+	if *maxInFlight < 0 {
+		return fmt.Errorf("max-inflight must be non-negative, got %d", *maxInFlight)
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("timeout must be positive, got %v", *timeout)
+	}
+	if *hedgeAfter <= 0 {
+		return fmt.Errorf("hedge-after must be positive, got %v", *hedgeAfter)
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("drain must be positive, got %v", *drain)
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Addr:                  *addr,
+		Backends:              pool,
+		VNodes:                *vnodes,
+		MaxInFlightPerBackend: *maxInFlight,
+		RequestTimeout:        *timeout,
+		HedgeAfter:            *hedgeAfter,
+		HealthInterval:        *healthInterval,
+		HealthTimeout:         *healthTimeout,
+		MaxBodyBytes:          *maxBody,
+		WarmApps:              splitList(*warmApps),
+		WarmIterations:        *warmIters,
+		WarmQuick:             *warmQuick,
+	})
+	if err != nil {
+		return err
+	}
+	gw.Start()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- gw.ListenAndServe() }()
+	fmt.Fprintf(stdout, "pwrsimgw: listening on %s, %d backends\n", *addr, len(pool))
+
+	select {
+	case err := <-errc:
+		gw.Close()
+		return err // bind failure or unexpected server exit
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "pwrsimgw: shutting down, draining proxied requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := gw.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "pwrsimgw: bye")
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"positional args", []string{"-backends", "http://a:1", "extra"}, "unexpected arguments"},
+		{"no backends", nil, "at least one -backends URL"},
+		{"blank backends", []string{"-backends", " , "}, "at least one -backends URL"},
+		{"bad backend url", []string{"-backends", "://nope"}, "backend"},
+		{"duplicate backends", []string{"-backends", "http://a:1,http://a:1"}, "duplicate"},
+		{"bad vnodes", []string{"-backends", "http://a:1", "-vnodes", "0"}, "vnodes must be positive"},
+		{"negative inflight", []string{"-backends", "http://a:1", "-max-inflight", "-1"}, "max-inflight must be non-negative"},
+		{"bad timeout", []string{"-backends", "http://a:1", "-timeout", "0s"}, "timeout must be positive"},
+		{"bad hedge", []string{"-backends", "http://a:1", "-hedge-after", "0s"}, "hedge-after must be positive"},
+		{"bad drain", []string{"-backends", "http://a:1", "-drain", "0s"}, "drain must be positive"},
+	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		err := run(tc.args, &out, &errOut)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunHelpExitsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-h"}, &out, &errOut); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if !strings.Contains(errOut.String(), "backends") {
+		t.Fatal("usage text does not mention -backends")
+	}
+}
+
+func TestRunBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var out, errOut strings.Builder
+	err = run([]string{"-addr", ln.Addr().String(), "-backends", "http://127.0.0.1:1"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "address already in use") {
+		t.Fatalf("expected bind failure, got %v", err)
+	}
+}
+
+// TestRunServesAndShutsDownOnSignal drives the full gateway lifecycle:
+// start against a fake ready backend, answer /healthz, drain on SIGTERM.
+func TestRunServesAndShutsDownOnSignal(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	}))
+	defer backend.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var out, errOut strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-backends", backend.URL, "-health-interval", "20ms"}, &out, &errOut)
+	}()
+
+	ok := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(fmt.Sprintf("http://%s/readyz", addr))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ok = true
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("gateway never became ready")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "bye") {
+		t.Fatalf("lifecycle log incomplete: %q", out.String())
+	}
+}

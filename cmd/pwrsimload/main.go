@@ -1,0 +1,173 @@
+// Command pwrsimload drives deterministic closed-loop load at a pwrsimd
+// backend or a pwrsimgw fleet and reports throughput and latency quantiles.
+// The request stream is reproducible from the seed: worker w draws every
+// (endpoint, key) choice from a PRNG seeded with seed+w, with Zipf key
+// popularity so there is a cacheable hot set and an evicting cold tail.
+//
+// Usage:
+//
+//	pwrsimload -target http://localhost:8700 -requests 500
+//	pwrsimload -target http://localhost:8723 -workers 8 -duration 30s \
+//	    -keys 32 -zipf 1.5 -profile analyze=3,replay=1 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pwrsimload:", err)
+		os.Exit(1)
+	}
+}
+
+// parseProfile reads "analyze=3,replay=1,apps=1" into weights.
+func parseProfile(s string) (loadgen.Profile, error) {
+	var p loadgen.Profile
+	if s == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return p, fmt.Errorf("profile entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return p, fmt.Errorf("profile weight %q must be a non-negative integer", val)
+		}
+		switch strings.TrimSpace(name) {
+		case loadgen.EndpointAnalyze:
+			p.Analyze = w
+		case loadgen.EndpointReplay:
+			p.Replay = w
+		case loadgen.EndpointApps:
+			p.Apps = w
+		default:
+			return p, fmt.Errorf("unknown profile endpoint %q (want analyze, replay or apps)", name)
+		}
+	}
+	return p, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pwrsimload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target   = fs.String("target", "", "base URL of the pwrsimd/pwrsimgw to load (required)")
+		workers  = fs.Int("workers", 4, "closed-loop concurrency")
+		requests = fs.Int("requests", 0, "stop after this many requests (0 = duration-bounded)")
+		duration = fs.Duration("duration", 0, "stop after this wall-clock budget (0 = request-bounded)")
+		seed     = fs.Int64("seed", 1, "PRNG seed; identical seeds replay identical request streams")
+		keys     = fs.Int("keys", 16, "distinct trace keys (cache entries) in play")
+		zipfS    = fs.Float64("zipf", 1.5, "Zipf skew exponent for key popularity (> 1)")
+		app      = fs.String("app", "IS-32", "trace app requested")
+		iters    = fs.Int("iterations", 3, "trace length of the hottest key; key i adds i")
+		quick    = fs.Bool("quick", true, "skip calibration in generated traces")
+		profile  = fs.String("profile", "analyze=1", "endpoint mix, e.g. analyze=3,replay=1,apps=1")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-request timeout")
+		asJSON   = fs.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("workers must be positive, got %d", *workers)
+	}
+	if *requests < 0 {
+		return fmt.Errorf("requests must be non-negative, got %d", *requests)
+	}
+	if *requests == 0 && *duration <= 0 {
+		return fmt.Errorf("one of -requests or -duration is required")
+	}
+	if *keys <= 0 {
+		return fmt.Errorf("keys must be positive, got %d", *keys)
+	}
+	if *zipfS <= 1 {
+		return fmt.Errorf("zipf must be > 1, got %g", *zipfS)
+	}
+	if *iters <= 0 {
+		return fmt.Errorf("iterations must be positive, got %d", *iters)
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("timeout must be positive, got %v", *timeout)
+	}
+	prof, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	if prof.Analyze+prof.Replay+prof.Apps <= 0 {
+		return fmt.Errorf("profile %q enables no endpoints", *profile)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:        strings.TrimSuffix(*target, "/"),
+		Workers:        *workers,
+		Requests:       *requests,
+		Duration:       *duration,
+		Seed:           *seed,
+		Keys:           *keys,
+		ZipfS:          *zipfS,
+		App:            *app,
+		BaseIterations: *iters,
+		Quick:          *quick,
+		Profile:        prof,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	ok := res.Requests - res.Errors
+	fmt.Fprintf(stdout, "requests   %d (%d ok, %d errors)\n", res.Requests, ok, res.Errors)
+	fmt.Fprintf(stdout, "elapsed    %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "throughput %.1f req/s\n", res.Throughput)
+	fmt.Fprintf(stdout, "latency    p50 %v  p90 %v  p99 %v  max %v\n",
+		res.P50.Round(time.Microsecond), res.P90.Round(time.Microsecond),
+		res.P99.Round(time.Microsecond), res.Max.Round(time.Microsecond))
+	for _, ep := range []string{loadgen.EndpointAnalyze, loadgen.EndpointReplay, loadgen.EndpointApps} {
+		if n := res.ByEndpoint[ep]; n > 0 {
+			fmt.Fprintf(stdout, "  %-8s %d\n", ep, n)
+		}
+	}
+	for code, n := range res.ByStatus {
+		if code < 200 || code > 299 {
+			fmt.Fprintf(stdout, "  status %d: %d\n", code, n)
+		}
+	}
+	return nil
+}

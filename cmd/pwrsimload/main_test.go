@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"positional args", []string{"-target", "http://x", "-requests", "1", "extra"}, "unexpected arguments"},
+		{"no target", []string{"-requests", "1"}, "-target is required"},
+		{"no budget", []string{"-target", "http://x"}, "one of -requests or -duration"},
+		{"bad workers", []string{"-target", "http://x", "-requests", "1", "-workers", "0"}, "workers must be positive"},
+		{"bad zipf", []string{"-target", "http://x", "-requests", "1", "-zipf", "1"}, "zipf must be > 1"},
+		{"bad keys", []string{"-target", "http://x", "-requests", "1", "-keys", "0"}, "keys must be positive"},
+		{"bad profile entry", []string{"-target", "http://x", "-requests", "1", "-profile", "analyze"}, "not name=weight"},
+		{"bad profile weight", []string{"-target", "http://x", "-requests", "1", "-profile", "analyze=x"}, "non-negative integer"},
+		{"unknown endpoint", []string{"-target", "http://x", "-requests", "1", "-profile", "nope=1"}, "unknown profile endpoint"},
+		{"empty profile", []string{"-target", "http://x", "-requests", "1", "-profile", "analyze=0"}, "enables no endpoints"},
+	}
+	for _, tc := range cases {
+		var out, errOut strings.Builder
+		err := run(tc.args, &out, &errOut)
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := parseProfile("analyze=3, replay=1,apps=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != (loadgen.Profile{Analyze: 3, Replay: 1, Apps: 2}) {
+		t.Fatalf("parseProfile = %+v", p)
+	}
+}
+
+func TestRunTextAndJSONOutput(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok": true}`)
+	}))
+	defer ts.Close()
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-target", ts.URL, "-requests", "20", "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"requests   20 (20 ok, 0 errors)", "throughput", "p50"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-target", ts.URL, "-requests", "20", "-json"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var res loadgen.Result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Requests != 20 || res.Errors != 0 {
+		t.Fatalf("JSON result = %+v", res)
+	}
+}

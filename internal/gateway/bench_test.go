@@ -1,0 +1,58 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// BenchmarkGatewayProxyOverhead measures what the gateway hop adds on top
+// of a direct backend call, on the cheapest warm path (/v1/analyze answered
+// from the backend's replay cache): body read + shard hash + ring lookup +
+// buffered proxy round-trip. Compare the direct and gateway sub-benchmarks;
+// the difference is the per-request gateway cost.
+func BenchmarkGatewayProxyOverhead(b *testing.B) {
+	srv := server.New(server.Config{RequestTimeout: 30 * time.Second})
+	srv.MarkReady()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	g, err := New(Config{Backends: []string{ts.URL}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	g.CheckNow(context.Background())
+
+	const body = `{"trace": {"app": "IS-32", "iterations": 3, "quick": true}, "gear_set": {"kind": "uniform"}}`
+	do := func(b *testing.B, h http.Handler) {
+		b.Helper()
+		// Prime the backend's caches so the loop measures proxy overhead,
+		// not a first-request simulation.
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("prime request = %d: %s", rec.Code, rec.Body.String())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("request = %d", rec.Code)
+			}
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) { do(b, srv.Handler()) })
+	b.Run("gateway", func(b *testing.B) { do(b, g.Handler()) })
+}

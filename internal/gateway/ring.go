@@ -1,0 +1,121 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is an immutable consistent-hash ring over the currently-ready
+// backends. Each member contributes vnodes virtual points, so load (and
+// key ownership) spreads evenly even for small fleets, and a membership
+// change moves only ~1/N of the keyspace instead of rehashing everything —
+// which is what keeps each backend's replay cache hot across joins and
+// leaves. Rebuilds produce a new ring; readers hold a snapshot, so lookups
+// never lock.
+type ring struct {
+	points  []ringPoint // sorted by hash, clockwise
+	members []string    // sorted, distinct
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// hashKey maps an arbitrary shard key onto the ring's keyspace: FNV-1a
+// for the byte mixing, then a murmur3-style finalizer. The finalizer
+// matters — ring ordering compares full 64-bit values, and raw FNV-1a of
+// short, similar strings (app names, "url#vnode") clusters badly in the
+// high bits, which skews ownership shares by several × without it.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// buildRing constructs the ring for a member set. Order of members does not
+// matter; the vnode placement depends only on (member, index) hashes, so
+// the same membership always yields the identical ring.
+func buildRing(members []string, vnodes int) *ring {
+	r := &ring{
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+		members: append([]string(nil), members...),
+	}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("%s#%d", m, v)),
+				owner: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.owner < b.owner // total order even on (vanishingly rare) hash ties
+	})
+	return r
+}
+
+// owner returns the member owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	seq := r.sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// sequence walks clockwise from key's position and returns up to n distinct
+// members in preference order: the primary first, then the replica a hedged
+// retry should target, and so on. An empty ring yields nil.
+func (r *ring) sequence(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, p.owner)
+		}
+	}
+	return out
+}
+
+// churnProbes is the fixed probe-key count used to estimate how much of the
+// keyspace a rebuild moved. 1024 probes bound the estimate's error to a few
+// percent, plenty for the ~1/N assertion the metric exists to support.
+const churnProbes = 1024
+
+// churn estimates the fraction of the keyspace whose owner differs between
+// two rings, by comparing ownership of a fixed deterministic probe set.
+// Keys that had no owner before (empty old ring) count as moved, so the
+// first backend joining reports churn 1 — every key changed from "nowhere"
+// to it.
+func churn(old, new *ring) (moved int, fraction float64) {
+	for i := 0; i < churnProbes; i++ {
+		k := fmt.Sprintf("probe/%d", i)
+		if old.owner(k) != new.owner(k) {
+			moved++
+		}
+	}
+	return moved, float64(moved) / churnProbes
+}

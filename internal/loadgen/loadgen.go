@@ -1,0 +1,287 @@
+// Package loadgen is a deterministic closed-loop load generator for a
+// pwrsimd backend or a pwrsimgw fleet. Each worker is a closed loop —
+// issue one request, wait for the response, record the latency, repeat —
+// so offered load self-regulates to the system's capacity and the measured
+// throughput is the real sustainable rate, not an open-loop backlog.
+//
+// The workload is reproducible by construction: worker w draws from its own
+// PRNG seeded with Seed+w, so the same configuration replays the identical
+// per-worker request sequence run after run. Keys (distinct trace
+// identities, and therefore distinct backend cache entries) are chosen with
+// Zipf popularity, matching the skewed re-analysis patterns that make
+// shard-affinity routing worthwhile: a hot head that should live in cache
+// and a long cold tail that evicts it when the fleet is too small.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint names used in Profile weights and Result counts.
+const (
+	EndpointAnalyze = "analyze"
+	EndpointReplay  = "replay"
+	EndpointApps    = "apps"
+)
+
+// Profile weights the endpoint mix. A zero weight disables the endpoint;
+// all-zero defaults to analyze-only.
+type Profile struct {
+	Analyze int `json:"analyze"`
+	Replay  int `json:"replay"`
+	Apps    int `json:"apps"`
+}
+
+func (p Profile) total() int { return p.Analyze + p.Replay + p.Apps }
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the target: a pwrsimd backend or a pwrsimgw gateway.
+	BaseURL string
+	// Workers is the closed-loop concurrency. Default 4.
+	Workers int
+	// Requests stops the run after this many total requests. Default 100
+	// when Duration is also zero.
+	Requests int
+	// Duration stops the run after this wall-clock budget (whichever of
+	// Requests/Duration hits first; zero means unbounded).
+	Duration time.Duration
+	// Seed makes the run reproducible; worker w uses Seed+w.
+	Seed int64
+	// Keys is the number of distinct trace identities (backend cache
+	// entries) in play. Default 16.
+	Keys int
+	// ZipfS is the Zipf skew exponent (must be > 1; larger = hotter head).
+	// Default 1.5.
+	ZipfS float64
+	// App is the trace app requested; keys vary the iteration count.
+	// Default "IS-32".
+	App string
+	// BaseIterations is key 0's trace length; key i asks for
+	// BaseIterations+i iterations, giving every key a distinct cache
+	// identity with near-identical cost. Default 3.
+	BaseIterations int
+	// Quick skips calibration in generated traces.
+	Quick bool
+	// Profile is the endpoint mix. Default analyze-only.
+	Profile Profile
+	// RequestTimeout bounds each request. Default 60s.
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client (tests); nil builds one sized to
+	// Workers keep-alive connections.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 && c.Duration <= 0 {
+		c.Requests = 100
+	}
+	if c.Keys <= 0 {
+		c.Keys = 16
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.5
+	}
+	if c.App == "" {
+		c.App = "IS-32"
+	}
+	if c.BaseIterations <= 0 {
+		c.BaseIterations = 3
+	}
+	if c.Profile.total() <= 0 {
+		c.Profile = Profile{Analyze: 1}
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	Requests   int            `json:"requests"`
+	Errors     int            `json:"errors"` // transport failures + non-2xx
+	ByStatus   map[int]int    `json:"by_status"`
+	ByEndpoint map[string]int `json:"by_endpoint"`
+	Elapsed    time.Duration  `json:"elapsed_ns"`
+	Throughput float64        `json:"throughput_rps"` // successful requests per second
+	P50        time.Duration  `json:"p50_ns"`
+	P90        time.Duration  `json:"p90_ns"`
+	P99        time.Duration  `json:"p99_ns"`
+	Max        time.Duration  `json:"max_ns"`
+}
+
+// workerStats is one worker's private tally, merged after the run so the
+// hot loop never contends on shared state.
+type workerStats struct {
+	latencies  []time.Duration
+	byStatus   map[int]int
+	byEndpoint map[string]int
+	errors     int
+}
+
+// Run drives the configured load until the request budget, duration budget
+// or ctx ends, whichever is first, and returns the merged measurements.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return Result{}, errors.New("loadgen: BaseURL is required")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers,
+			MaxIdleConnsPerHost: cfg.Workers,
+		}}
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	var issued atomic.Int64 // global request budget, claimed before each send
+	budget := int64(cfg.Requests)
+	stats := make([]workerStats, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(ctx, cfg, client, int64(w), &issued, budget, &stats[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		ByStatus:   make(map[int]int),
+		ByEndpoint: make(map[string]int),
+		Elapsed:    elapsed,
+	}
+	var all []time.Duration
+	for _, s := range stats {
+		res.Errors += s.errors
+		for code, n := range s.byStatus {
+			res.ByStatus[code] += n
+		}
+		for ep, n := range s.byEndpoint {
+			res.ByEndpoint[ep] += n
+		}
+		all = append(all, s.latencies...)
+	}
+	res.Requests = len(all) + res.Errors
+	ok := res.Requests - res.Errors
+	if elapsed > 0 {
+		res.Throughput = float64(ok) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = percentile(all, 0.50)
+		res.P90 = percentile(all, 0.90)
+		res.P99 = percentile(all, 0.99)
+		res.Max = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile from an ascending latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runWorker is one closed loop. Every random draw comes from the worker's
+// own seeded source, so the (endpoint, key) sequence depends only on
+// (Seed, worker index) — never on timing.
+func runWorker(ctx context.Context, cfg Config, client *http.Client, w int64, issued *atomic.Int64, budget int64, out *workerStats) {
+	rng := rand.New(rand.NewSource(cfg.Seed + w))
+	// Zipf over [0, Keys-1]: rank 0 is the hottest key.
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	out.byStatus = make(map[int]int)
+	out.byEndpoint = make(map[string]int)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if budget > 0 && issued.Add(1) > budget {
+			return
+		}
+		endpoint := pickEndpoint(rng, cfg.Profile)
+		key := int(zipf.Uint64())
+		dur, status, err := doOne(ctx, cfg, client, endpoint, key)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return // shutdown races are not failures
+			}
+			out.errors++
+		case status < 200 || status > 299:
+			out.byStatus[status]++
+			out.errors++
+		default:
+			out.byStatus[status]++
+			out.byEndpoint[endpoint]++
+			out.latencies = append(out.latencies, dur)
+		}
+	}
+}
+
+// pickEndpoint draws one endpoint from the profile's weights.
+func pickEndpoint(rng *rand.Rand, p Profile) string {
+	n := rng.Intn(p.total())
+	if n < p.Analyze {
+		return EndpointAnalyze
+	}
+	if n < p.Analyze+p.Replay {
+		return EndpointReplay
+	}
+	return EndpointApps
+}
+
+// doOne issues a single request for (endpoint, key) and times it.
+func doOne(ctx context.Context, cfg Config, client *http.Client, endpoint string, key int) (time.Duration, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout)
+	defer cancel()
+	var req *http.Request
+	var err error
+	iters := cfg.BaseIterations + key
+	switch endpoint {
+	case EndpointApps:
+		req, err = http.NewRequestWithContext(ctx, "GET", cfg.BaseURL+"/v1/apps", nil)
+	case EndpointReplay:
+		body := fmt.Sprintf(`{"trace": {"app": %q, "iterations": %d, "quick": %t}}`, cfg.App, iters, cfg.Quick)
+		req, err = http.NewRequestWithContext(ctx, "POST", cfg.BaseURL+"/v1/replay", bytes.NewReader([]byte(body)))
+	default: // analyze
+		body := fmt.Sprintf(`{"trace": {"app": %q, "iterations": %d, "quick": %t}, "gear_set": {"kind": "uniform"}}`, cfg.App, iters, cfg.Quick)
+		req, err = http.NewRequestWithContext(ctx, "POST", cfg.BaseURL+"/v1/analyze", bytes.NewReader([]byte(body)))
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if req.Method == "POST" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for keep-alive reuse
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode, nil
+}

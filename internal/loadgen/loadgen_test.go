@@ -1,0 +1,222 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingServer answers every endpoint instantly and records the request
+// stream so tests can assert on the generated workload itself.
+type recordingServer struct {
+	mu   sync.Mutex
+	seen []string // "METHOD /path iterations"
+	ts   *httptest.Server
+}
+
+func newRecordingServer(t *testing.T) *recordingServer {
+	t.Helper()
+	rs := &recordingServer{}
+	rs.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Trace struct {
+				Iterations int `json:"iterations"`
+			} `json:"trace"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		rs.mu.Lock()
+		rs.seen = append(rs.seen, fmt.Sprintf("%s %s %d", r.Method, r.URL.Path, body.Trace.Iterations))
+		rs.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok": true}`)
+	}))
+	t.Cleanup(rs.ts.Close)
+	return rs
+}
+
+func (rs *recordingServer) requests() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]string(nil), rs.seen...)
+}
+
+func TestRunCountsAndThroughput(t *testing.T) {
+	rs := newRecordingServer(t)
+	res, err := Run(context.Background(), Config{
+		BaseURL:  rs.ts.URL,
+		Workers:  3,
+		Requests: 50,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 50 {
+		t.Fatalf("Requests = %d, want 50", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", res.Errors)
+	}
+	if res.ByStatus[200] != 50 {
+		t.Fatalf("ByStatus[200] = %d, want 50", res.ByStatus[200])
+	}
+	if res.ByEndpoint[EndpointAnalyze] != 50 {
+		t.Fatalf("default profile should be analyze-only, got %v", res.ByEndpoint)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Fatalf("latency quantiles inconsistent: p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+	if got := len(rs.requests()); got != 50 {
+		t.Fatalf("server saw %d requests, want 50", got)
+	}
+}
+
+// The whole point of seeding: one worker, same seed, same server → the
+// identical request sequence, twice.
+func TestRunDeterministicSequence(t *testing.T) {
+	cfg := Config{Workers: 1, Requests: 40, Seed: 7, Keys: 8, ZipfS: 1.3,
+		Profile: Profile{Analyze: 3, Replay: 2, Apps: 1}}
+
+	rs1 := newRecordingServer(t)
+	cfg.BaseURL = rs1.ts.URL
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	rs2 := newRecordingServer(t)
+	cfg.BaseURL = rs2.ts.URL
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	a, b := rs1.requests(), rs2.requests()
+	if len(a) != len(b) {
+		t.Fatalf("runs issued %d vs %d requests", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identically-seeded runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// And a different seed produces a different stream.
+	rs3 := newRecordingServer(t)
+	cfg.BaseURL = rs3.ts.URL
+	cfg.Seed = 8
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	c := rs3.requests()
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical request stream")
+	}
+}
+
+// Zipf popularity: the hottest key (rank 0, BaseIterations) must dominate
+// the stream, and the mix must respect the endpoint weights roughly.
+func TestRunZipfSkewAndProfileMix(t *testing.T) {
+	rs := newRecordingServer(t)
+	res, err := Run(context.Background(), Config{
+		BaseURL:        rs.ts.URL,
+		Workers:        2,
+		Requests:       400,
+		Seed:           42,
+		Keys:           16,
+		ZipfS:          1.5,
+		BaseIterations: 3,
+		Profile:        Profile{Analyze: 1, Replay: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, analyze, replay := 0, 0, 0
+	for _, s := range rs.requests() {
+		var method, path string
+		var iters int
+		fmt.Sscanf(s, "%s %s %d", &method, &path, &iters)
+		if iters == 3 {
+			hot++
+		}
+		switch path {
+		case "/v1/analyze":
+			analyze++
+		case "/v1/replay":
+			replay++
+		}
+	}
+	// Zipf(1.5) over 16 keys gives rank 0 ≈ 45% of draws; fair share would
+	// be 25/400. Anything above 4× fair share demonstrates the skew.
+	if hot < 100 {
+		t.Fatalf("hottest key drew %d/400 requests; zipf(1.5) should concentrate ~45%%", hot)
+	}
+	if analyze == 0 || replay == 0 {
+		t.Fatalf("profile mix ignored: analyze=%d replay=%d", analyze, replay)
+	}
+	ratio := float64(analyze) / float64(replay)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("1:1 profile produced %d:%d", analyze, replay)
+	}
+	if res.ByEndpoint[EndpointAnalyze] != analyze || res.ByEndpoint[EndpointReplay] != replay {
+		t.Fatalf("result endpoint counts %v disagree with server-side %d/%d", res.ByEndpoint, analyze, replay)
+	}
+}
+
+func TestRunCountsServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{BaseURL: ts.URL, Workers: 2, Requests: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 10 {
+		t.Fatalf("Errors = %d, want 10", res.Errors)
+	}
+	if res.ByStatus[503] != 10 {
+		t.Fatalf("ByStatus[503] = %d, want 10", res.ByStatus[503])
+	}
+	if res.Throughput != 0 {
+		t.Fatalf("throughput %f counted failed requests", res.Throughput)
+	}
+}
+
+func TestRunDurationBudget(t *testing.T) {
+	rs := newRecordingServer(t)
+	start := time.Now()
+	res, err := Run(context.Background(), Config{
+		BaseURL:  rs.ts.URL,
+		Workers:  2,
+		Duration: 100 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("duration-bounded run took %v", took)
+	}
+	if res.Requests == 0 {
+		t.Fatal("duration-bounded run issued no requests")
+	}
+}
+
+func TestRunRejectsMissingTarget(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("Run accepted an empty BaseURL")
+	}
+}

@@ -49,7 +49,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.render(w, s.cache.Stats())
+	s.reg.render(w, s.cache.Stats(), s.Ready())
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {

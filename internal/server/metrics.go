@@ -128,7 +128,7 @@ func (g *registry) observe(route string, d time.Duration, isErr bool) {
 
 // render writes the Prometheus text exposition of the counters plus the
 // shared replay cache's stats. Routes are sorted for deterministic output.
-func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
+func (g *registry) render(w io.Writer, cache dimemas.CacheStats, ready bool) {
 	g.mu.Lock()
 	inFlight, rejected, timeouts, panics := g.inFlight, g.rejected, g.timeouts, g.panics
 	uptime := time.Since(g.start).Seconds()
@@ -166,6 +166,14 @@ func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
 	fmt.Fprintf(w, "# TYPE pwrsimd_panics_total counter\n")
 	fmt.Fprintf(w, "pwrsimd_panics_total %d\n", panics)
 
+	readyVal := 0
+	if ready {
+		readyVal = 1
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_ready Readiness (1 = serving, 0 = starting or draining; see /readyz).\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_ready gauge\n")
+	fmt.Fprintf(w, "pwrsimd_ready %d\n", readyVal)
+
 	fmt.Fprintf(w, "# HELP pwrsimd_cache_hits_total Replay-cache hits.\n")
 	fmt.Fprintf(w, "# TYPE pwrsimd_cache_hits_total counter\n")
 	fmt.Fprintf(w, "pwrsimd_cache_hits_total %d\n", cache.Hits)
@@ -178,6 +186,16 @@ func (g *registry) render(w io.Writer, cache dimemas.CacheStats) {
 	fmt.Fprintf(w, "# HELP pwrsimd_cache_entries Replay-cache current entry count.\n")
 	fmt.Fprintf(w, "# TYPE pwrsimd_cache_entries gauge\n")
 	fmt.Fprintf(w, "pwrsimd_cache_entries %d\n", cache.Entries)
+	// The hit ratio is derivable from the counters, but exposing it as a
+	// gauge lets the fleet scaling experiment (and dashboards) read each
+	// shard's cache temperature without doing rate arithmetic.
+	ratio := 0.0
+	if lookups := cache.Hits + cache.Misses; lookups > 0 {
+		ratio = float64(cache.Hits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "# HELP pwrsimd_cache_hit_ratio Replay-cache hits over lookups since start (0 before the first lookup).\n")
+	fmt.Fprintf(w, "# TYPE pwrsimd_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "pwrsimd_cache_hit_ratio %g\n", ratio)
 
 	fmt.Fprintf(w, "# HELP pwrsimd_requests_total Finished requests by route.\n")
 	fmt.Fprintf(w, "# TYPE pwrsimd_requests_total counter\n")

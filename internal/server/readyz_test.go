@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readyzStatus probes GET /readyz and returns (status code, body status).
+func readyzStatus(t *testing.T, s *Server) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	var body ReadyBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("readyz body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, body.Status
+}
+
+// A server that has not started its listener must answer not-ready, while
+// /healthz (liveness) already answers ok: the two endpoints are distinct
+// signals and the gateway keys pool membership off readiness alone.
+func TestReadyzBeforeListenerStart(t *testing.T) {
+	s := New(Config{})
+	if code, status := readyzStatus(t, s); code != 503 || status != "starting" {
+		t.Fatalf("pre-listen readyz = %d %q, want 503 starting", code, status)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz during startup = %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+}
+
+func TestReadyzAfterMarkReady(t *testing.T) {
+	s := New(Config{})
+	s.MarkReady()
+	if code, status := readyzStatus(t, s); code != 200 || status != "ready" {
+		t.Fatalf("readyz = %d %q, want 200 ready", code, status)
+	}
+	if !s.Ready() {
+		t.Fatal("Ready() = false after MarkReady")
+	}
+}
+
+// The drain transition: Shutdown flips /readyz to 503 "draining"
+// immediately, requests already accepted still complete, and readiness is
+// not re-acquirable afterwards.
+func TestReadyzDrainTransition(t *testing.T) {
+	s := New(Config{})
+	s.MarkReady()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code, status := readyzStatus(t, s); code != 503 || status != "draining" {
+		t.Fatalf("post-shutdown readyz = %d %q, want 503 draining", code, status)
+	}
+	// In-flight work is still served during a drain: the handler chain
+	// stays functional even though readiness is withdrawn.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(
+		`{"trace": {"app": "IS-32", "iterations": 2, "quick": true}, "gear_set": {"kind": "uniform"}}`))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("in-flight request during drain = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	// Draining is terminal: MarkReady must not resurrect the instance.
+	s.MarkReady()
+	if code, status := readyzStatus(t, s); code != 503 || status != "draining" {
+		t.Fatalf("readyz after MarkReady-on-draining = %d %q, want 503 draining", code, status)
+	}
+}
+
+// DrainGrace keeps the drain window open: readiness drops at Shutdown time,
+// but Shutdown itself does not return (and the listener keeps accepting)
+// until the grace elapses.
+func TestShutdownHonorsDrainGrace(t *testing.T) {
+	const grace = 150 * time.Millisecond
+	s := New(Config{DrainGrace: grace})
+	s.MarkReady()
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	// Readiness must drop promptly, well before the grace elapses.
+	deadline := time.Now().Add(grace)
+	for s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("server still ready after Shutdown began")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if took := time.Since(start); took < grace {
+		t.Fatalf("Shutdown returned after %v, want >= the %v drain grace", took, grace)
+	}
+}
+
+// The ready gauge and the hit-ratio gauge ride the /metrics text.
+func TestMetricsReadyAndHitRatioGauges(t *testing.T) {
+	s := New(Config{})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "pwrsimd_ready 0") {
+		t.Fatalf("metrics missing pwrsimd_ready 0 before listener start:\n%s", rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "pwrsimd_cache_hit_ratio 0") {
+		t.Fatalf("metrics missing pwrsimd_cache_hit_ratio:\n%s", rec.Body.String())
+	}
+	s.MarkReady()
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "pwrsimd_ready 1") {
+		t.Fatalf("metrics missing pwrsimd_ready 1 after MarkReady:\n%s", rec.Body.String())
+	}
+}

@@ -15,6 +15,7 @@
 //	POST /v1/tracegen      — generate a Table 3 synthetic workload
 //	GET  /v1/apps          — list the Table 3 instances
 //	GET  /healthz          — liveness
+//	GET  /readyz           — readiness (503 before listener start / during drain)
 //	GET  /metrics          — Prometheus text: cache stats, latencies, in-flight
 //
 // Simulation endpoints run behind a configurable in-flight limit (excess
@@ -31,11 +32,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dimemas"
@@ -64,6 +65,11 @@ type Config struct {
 	TraceCacheEntries int
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// DrainGrace keeps the listener accepting (while /readyz answers 503
+	// "draining") for this long after Shutdown is called, so fleet health
+	// checks can route around the instance before connections are refused.
+	// Default 0: drain immediately.
+	DrainGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +133,7 @@ type Server struct {
 	sem      chan struct{}
 	platform dimemas.Platform
 	power    power.Config
+	state    atomic.Int32 // starting → ready → draining (see readiness.go)
 
 	tmu    sync.Mutex
 	traces map[traceKey]*list.Element
@@ -155,6 +162,7 @@ func New(cfg Config) *Server {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/apps", s.instrument("/v1/apps", s.handleApps))
 	s.mux.HandleFunc("POST /v1/replay", s.limited("/v1/replay", s.handleReplay))
@@ -176,15 +184,8 @@ func (s *Server) Cache() *dimemas.ReplayCache { return s.cache }
 // Addr reports the configured listen address.
 func (s *Server) Addr() string { return s.cfg.Addr }
 
-// Serve accepts connections on ln until Shutdown.
-func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
-
-// ListenAndServe listens on the configured address until Shutdown.
-func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
-
-// Shutdown stops accepting new connections and waits for in-flight
-// requests to finish (bounded by ctx).
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// Serve, ListenAndServe and Shutdown live in readiness.go: they drive the
+// starting → ready → draining state machine behind GET /readyz.
 
 // statusWriter remembers the response code for metrics and whether any
 // bytes were written (so the panic recovery knows if a clean error

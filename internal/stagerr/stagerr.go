@@ -15,6 +15,7 @@
 //	rebalance — the online closed-loop controller
 //	cache     — the shared replay cache (single-flight fills)
 //	serve     — HTTP lifecycle: encoding, panics, timeouts, shedding
+//	gateway   — fleet-front failures: no ready backend, proxy errors
 //
 // Errors are tagged where they originate and may be re-tagged as they cross
 // later stages; StageOf reports the innermost (origin) tag — "where it
@@ -42,12 +43,13 @@ const (
 	Rebalance Stage = "rebalance"
 	Cache     Stage = "cache"
 	Serve     Stage = "serve"
+	Gateway   Stage = "gateway"
 )
 
 // Stages lists the full taxonomy (for docs, metrics pre-registration and
 // tests).
 func Stages() []Stage {
-	return []Stage{Parse, Validate, Skeleton, Retime, Optimize, Powercap, Rebalance, Cache, Serve}
+	return []Stage{Parse, Validate, Skeleton, Retime, Optimize, Powercap, Rebalance, Cache, Serve, Gateway}
 }
 
 // Error is an error tagged with the stage it crossed. Its message is the

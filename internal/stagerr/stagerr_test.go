@@ -99,7 +99,7 @@ func TestContextErrorsSurviveTagging(t *testing.T) {
 }
 
 func TestStagesCoversTaxonomy(t *testing.T) {
-	if n := len(Stages()); n != 9 {
-		t.Fatalf("taxonomy has %d stages, want 9", n)
+	if n := len(Stages()); n != 10 {
+		t.Fatalf("taxonomy has %d stages, want 10", n)
 	}
 }

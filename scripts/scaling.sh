@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# scaling.sh — fleet scaling experiment for the pwrsimgw gateway.
+#
+# Boots 1, 2 and 4 pwrsimd backends (each with a deliberately small replay-
+# cache budget), fronts them with pwrsimgw, and drives an identical
+# zipf-skewed pwrsimload workload at each fleet size. Because every backend
+# has a fixed cache budget, the fleet's aggregate cache grows with its size;
+# consistent-hash routing keeps each key on one backend, so adding backends
+# converts expensive cache misses (full trace generation + calibration +
+# baseline simulation) into cheap retimes. That cache-capacity scaling — not
+# CPU parallelism — is what the experiment measures, which keeps it
+# meaningful even on a single-core host.
+#
+# Usage: scripts/scaling.sh [outdir]
+# Emits a markdown table on stdout and per-run JSON under outdir.
+set -euo pipefail
+
+OUT="${1:-$(mktemp -d /tmp/pwrsim-scaling.XXXXXX)}"
+mkdir -p "$OUT"
+BIN="$OUT/bin"
+mkdir -p "$BIN"
+
+# --- workload shape (see EXPERIMENTS.md for the reasoning) -----------------
+KEYS=20            # distinct (app, iterations) cache identities in play
+ZIPF=2.0           # key popularity skew
+CACHE=8            # per-backend replay-cache entries: 1 backend holds 8 of KEYS
+REQUESTS=1500      # measured requests per fleet size
+WORKERS=4          # closed-loop concurrency
+ITERS=150          # hottest key's trace length (misses are ~50x hits)
+SEED=1
+PROFILE="analyze=1"
+BASE_PORT=8731
+GW_PORT=8730
+
+cd "$(dirname "$0")/.."
+echo "building binaries..." >&2
+go build -o "$BIN/pwrsimd" ./cmd/pwrsimd
+go build -o "$BIN/pwrsimgw" ./cmd/pwrsimgw
+go build -o "$BIN/pwrsimload" ./cmd/pwrsimload
+
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_ready() { # url
+  for _ in $(seq 1 200); do
+    if curl -sf -o /dev/null "$1/readyz"; then return 0; fi
+    sleep 0.05
+  done
+  echo "FATAL: $1 never became ready" >&2
+  return 1
+}
+
+scrape() { # url metric -> value
+  curl -sf "$1/metrics" | awk -v m="$2" '$1 == m { print $2 }'
+}
+
+declare -A TPUT HITRATE
+for N in 1 2 4; do
+  echo "=== fleet size $N ===" >&2
+  BACKENDS=""
+  BPORTS=()
+  for i in $(seq 0 $((N - 1))); do
+    port=$((BASE_PORT + i))
+    BPORTS+=("$port")
+    "$BIN/pwrsimd" -addr "127.0.0.1:$port" \
+      -cache-entries "$CACHE" -trace-cache-entries "$CACHE" \
+      -max-inflight $((WORKERS * 2)) \
+      >"$OUT/pwrsimd-$N-$i.log" 2>&1 &
+    PIDS+=($!)
+    BACKENDS="${BACKENDS:+$BACKENDS,}http://127.0.0.1:$port"
+  done
+  "$BIN/pwrsimgw" -addr "127.0.0.1:$GW_PORT" -backends "$BACKENDS" \
+    -health-interval 200ms >"$OUT/pwrsimgw-$N.log" 2>&1 &
+  PIDS+=($!)
+  for p in "${BPORTS[@]}"; do wait_ready "http://127.0.0.1:$p"; done
+  wait_ready "http://127.0.0.1:$GW_PORT"
+
+  # Gateway transparency: the proxied response must be byte-identical to a
+  # direct backend hit for the same request.
+  IDBODY="{\"trace\": {\"app\": \"IS-32\", \"iterations\": $ITERS, \"quick\": false}, \"gear_set\": {\"kind\": \"uniform\"}}"
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$IDBODY" \
+    "http://127.0.0.1:$GW_PORT/v1/analyze" >"$OUT/via-gateway-$N.json"
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$IDBODY" \
+    "http://127.0.0.1:${BPORTS[0]}/v1/analyze" >"$OUT/direct-$N.json"
+  if ! cmp -s "$OUT/via-gateway-$N.json" "$OUT/direct-$N.json"; then
+    echo "FATAL: gateway response differs from direct backend response" >&2
+    exit 1
+  fi
+  echo "byte-identity: gateway == direct" >&2
+
+  LOAD=("$BIN/pwrsimload" -target "http://127.0.0.1:$GW_PORT" \
+    -workers "$WORKERS" -requests "$REQUESTS" -seed "$SEED" \
+    -keys "$KEYS" -zipf "$ZIPF" -iterations "$ITERS" -quick=false \
+    -profile "$PROFILE" -json)
+
+  # Warm-up pass: reach cache steady state so the measured run reflects
+  # sustained operation, not first-touch compulsory misses.
+  "${LOAD[@]}" >"$OUT/warmup-$N.json"
+
+  # Snapshot cache counters, run the measured pass, snapshot again; the
+  # delta is the measured run's fleet-wide hit rate.
+  H0=0; M0=0
+  for p in "${BPORTS[@]}"; do
+    H0=$((H0 + $(scrape "http://127.0.0.1:$p" pwrsimd_cache_hits_total)))
+    M0=$((M0 + $(scrape "http://127.0.0.1:$p" pwrsimd_cache_misses_total)))
+  done
+  "${LOAD[@]}" >"$OUT/measured-$N.json"
+  H1=0; M1=0
+  for p in "${BPORTS[@]}"; do
+    H1=$((H1 + $(scrape "http://127.0.0.1:$p" pwrsimd_cache_hits_total)))
+    M1=$((M1 + $(scrape "http://127.0.0.1:$p" pwrsimd_cache_misses_total)))
+  done
+
+  TPUT[$N]=$(awk '/"throughput_rps"/ { gsub(/[,"]/,""); print $2 }' "$OUT/measured-$N.json")
+  HITRATE[$N]=$(awk -v h=$((H1 - H0)) -v m=$((M1 - M0)) 'BEGIN { t = h + m; printf (t ? "%.3f" : "0"), h / t }')
+  ERRS=$(awk '/"errors"/ { gsub(/[,"]/,""); print $2 }' "$OUT/measured-$N.json")
+  if [ "$ERRS" != "0" ]; then
+    echo "WARNING: fleet size $N saw $ERRS load errors" >&2
+  fi
+  echo "fleet=$N throughput=${TPUT[$N]} rps, hit-rate=${HITRATE[$N]}" >&2
+
+  cleanup
+  PIDS=()
+done
+
+S1=${TPUT[1]}
+echo
+echo "| Backends | Throughput (req/s) | Speedup vs 1 | Fleet cache hit-rate |"
+echo "|---------:|-------------------:|-------------:|---------------------:|"
+for N in 1 2 4; do
+  SPEEDUP=$(awk -v a="${TPUT[$N]}" -v b="$S1" 'BEGIN { printf "%.2f", a / b }')
+  echo "| $N | ${TPUT[$N]} | ${SPEEDUP}x | ${HITRATE[$N]} |"
+done
+echo
+echo "workload: $REQUESTS requests, $WORKERS workers, $KEYS keys, zipf $ZIPF," \
+     "iterations $ITERS (quick=false), cache $CACHE entries/backend, seed $SEED"
+echo "raw JSON: $OUT" >&2
