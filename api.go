@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/paraver"
 	"repro/internal/phased"
+	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/powercap"
 	"repro/internal/rebalance"
@@ -469,3 +470,47 @@ type GearSearchResult = gearopt.Result
 // OptimizeGearSet searches for the n-gear placement minimizing average
 // normalized energy over a set of application traces.
 func OptimizeGearSet(cfg GearSearchConfig) (*GearSearchResult, error) { return gearopt.Optimize(cfg) }
+
+// Heterogeneous machine model: a Platform optionally layered with a
+// node/switch topology and per-rank capability. A Machine with neither
+// layer behaves bit-identically to its flat Platform.
+type (
+	// Machine is a Platform plus optional topology and capability layers.
+	Machine = dimemas.Machine
+	// MachineTopology places ranks on nodes and nodes under switches, with
+	// distinct intra-node, inter-node and remote (cross-switch) links.
+	MachineTopology = dimemas.Topology
+	// Link is one interconnect tier (latency seconds, bandwidth bytes/s).
+	Link = dimemas.Link
+	// Capability holds per-rank efficiency, frequency-ceiling and
+	// power-scale vectors.
+	Capability = dimemas.Capability
+)
+
+// FlatMachine wraps a Platform as a Machine with no layers.
+func FlatMachine(p Platform) Machine { return dimemas.FlatMachine(p) }
+
+// BlockPlacement assigns ranks to nodes contiguously, perNode at a time.
+func BlockPlacement(nranks, perNode int) []int { return dimemas.BlockPlacement(nranks, perNode) }
+
+// SimulateMachine replays a trace on a layered machine. For a flat machine
+// it is bit-identical to Simulate on the base platform.
+func SimulateMachine(t *Trace, m Machine, opts SimOptions) (*SimResult, error) {
+	return dimemas.SimulateMachine(t, m, opts)
+}
+
+// PlacementConfig parameterizes the topology-aware placement search.
+type PlacementConfig = placement.Config
+
+// PlacementResult reports an optimized rank→node placement.
+type PlacementResult = placement.Result
+
+// OptimizePlacement runs a deterministic pairwise-swap local search over
+// rank→node placements, scoring candidates with exact machine replays.
+func OptimizePlacement(cfg PlacementConfig) (*PlacementResult, error) { return placement.Optimize(cfg) }
+
+// ShuffledPlacement returns a seeded random placement of nranks ranks in
+// nodes of perNode — the locality-oblivious baseline for placement studies.
+func ShuffledPlacement(nranks, perNode int, seed int64) []int {
+	return placement.ShuffledPlacement(nranks, perNode, seed)
+}

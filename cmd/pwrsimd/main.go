@@ -25,9 +25,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dimemas"
 	"repro/internal/faults"
 	"repro/internal/server"
 )
+
+// defaultPlatform seeds the platform flags, so `pwrsimd -h` shows the
+// paper's Myrinet-class constants as the defaults.
+var defaultPlatform = dimemas.DefaultPlatform()
 
 // parseFaultPoint maps a -fault-points name onto the faults taxonomy.
 func parseFaultPoint(name string) (faults.Point, error) {
@@ -60,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxBody      = fs.Int64("max-body", 8<<20, "maximum request body bytes")
 		drain        = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		drainGrace   = fs.Duration("drain-grace", 0, "keep accepting (with /readyz answering 503) this long after SIGTERM so load balancers can route around the drain")
+		latency      = fs.Float64("latency", defaultPlatform.Latency, "flat-link message latency in seconds")
+		bandwidth    = fs.Float64("bandwidth", defaultPlatform.Bandwidth, "flat-link bandwidth in bytes per second")
+		eagerLimit   = fs.Int64("eager-limit", defaultPlatform.EagerLimit, "largest message size (bytes) sent eagerly; larger messages rendezvous")
+		overhead     = fs.Float64("overhead", defaultPlatform.Overhead, "per-call CPU overhead in seconds")
 		faultRate    = fs.Uint64("fault-rate", 0, "inject one fault per N checks at each fault point (0 = disabled; chaos testing only)")
 		faultSeed    = fs.Uint64("fault-seed", 1, "deterministic seed for fault injection")
 		faultPoints  = fs.String("fault-points", "", "comma-separated fault points to arm (default: all; see internal/faults)")
@@ -87,6 +96,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *drainGrace >= *drain {
 		return fmt.Errorf("drain-grace (%v) must be shorter than the drain budget (%v)", *drainGrace, *drain)
+	}
+	platform := defaultPlatform
+	platform.Latency = *latency
+	platform.Bandwidth = *bandwidth
+	platform.EagerLimit = *eagerLimit
+	platform.Overhead = *overhead
+	if err := platform.Validate(); err != nil {
+		return err
 	}
 	if *faultRate > 0 {
 		points := faults.Points()
@@ -119,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		TraceCacheEntries: *traceEntries,
 		MaxBodyBytes:      *maxBody,
 		DrainGrace:        *drainGrace,
+		Platform:          platform,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -26,6 +26,13 @@ type Config struct {
 	Trace *trace.Trace
 	// Platform models the interconnect; zero value means DefaultPlatform.
 	Platform dimemas.Platform
+	// Machine optionally layers topology and per-rank capability on top of
+	// Platform (nil means the flat homogeneous machine). The pipeline then
+	// replays on the layered machine, the balancer honors per-rank frequency
+	// ceilings (Capability.FMax), and the energy accounting multiplies each
+	// rank's draw by Capability.PowerScale. A Machine with a zero Base
+	// inherits the normalized Platform.
+	Machine *dimemas.Machine
 	// Power configures the CPU power model; zero value means the paper's
 	// baseline (ratio 1.5, static 20 %).
 	Power power.Config
@@ -138,6 +145,41 @@ func (c *Config) normalizeShared() error {
 	return nil
 }
 
+// machine resolves the layered machine the pipeline replays on (call after
+// normalizeShared): the explicit Machine when configured, inheriting the
+// normalized Platform into a zero Base, or the flat homogeneous machine.
+func (c *Config) machine() (dimemas.Machine, error) {
+	if c.Machine == nil {
+		return dimemas.FlatMachine(c.Platform), nil
+	}
+	m := *c.Machine
+	if m.Base == (dimemas.Platform{}) {
+		m.Base = c.Platform
+	}
+	if err := m.ValidateFor(c.Trace.NumRanks()); err != nil {
+		return dimemas.Machine{}, err
+	}
+	return m, nil
+}
+
+// capFMaxes returns the machine's per-rank frequency ceilings for the
+// balancer, nil when every rank may use the whole gear set.
+func capFMaxes(m *dimemas.Machine) []float64 {
+	if m.Cap == nil {
+		return nil
+	}
+	return m.Cap.FMax
+}
+
+// powerScales returns the machine's per-rank power multipliers for the
+// energy accounting, nil on homogeneous machines.
+func powerScales(m *dimemas.Machine) []float64 {
+	if m.Cap == nil {
+		return nil
+	}
+	return m.Cap.PowerScale
+}
+
 // Run executes the full pipeline. Errors are stage-tagged
 // (internal/stagerr): configuration problems carry the validate stage,
 // everything past validation crosses optimize on its way out, with the
@@ -165,6 +207,10 @@ func run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	machine, err := cfg.machine()
+	if err != nil {
+		return nil, stagerr.Wrap(stagerr.Validate, err)
+	}
 
 	// Original execution: every rank at the nominal top frequency. A
 	// precomputed baseline short-circuits the replay; otherwise the cache
@@ -173,7 +219,7 @@ func run(cfg Config) (*Result, error) {
 	orig := cfg.Baseline
 	if orig == nil {
 		var err error
-		orig, err = cfg.Cache.Original(cfg.Trace, cfg.Platform, simOpts)
+		orig, err = cfg.Cache.OriginalMachine(cfg.Trace, machine, simOpts)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: original replay: %w", err)
 		}
@@ -187,8 +233,9 @@ func run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Frequency assignment from the original per-process computation times.
-	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Rounding: cfg.Rounding}
+	// Frequency assignment from the original per-process computation times,
+	// honoring per-rank frequency ceilings on heterogeneous machines.
+	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Rounding: cfg.Rounding, FMaxes: capFMaxes(&machine)}
 	assignment, err := balancer.Assign(cfg.Algorithm, orig.Compute)
 	if err != nil {
 		return nil, err
@@ -199,7 +246,7 @@ func run(cfg Config) (*Result, error) {
 	// without one it degrades to a plain Simulate call.
 	newOpts := simOpts
 	newOpts.Freqs = assignment.Freqs()
-	next, err := cfg.Cache.Replay(cfg.Trace, cfg.Platform, newOpts)
+	next, err := cfg.Cache.ReplayMachine(cfg.Trace, machine, newOpts)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: DVFS replay: %w", err)
 	}
@@ -207,11 +254,12 @@ func run(cfg Config) (*Result, error) {
 	// Energy accounting: each CPU is powered for the whole run at its
 	// assigned gear; whatever is not computation is communication/wait.
 	nominal := dvfs.GearAt(cfg.FMax)
-	origStats, err := runStats(pm, orig, uniformGears(len(orig.Compute), nominal))
+	scales := powerScales(&machine)
+	origStats, err := runStats(pm, orig, uniformGears(len(orig.Compute), nominal), scales)
 	if err != nil {
 		return nil, err
 	}
-	newStats, err := runStats(pm, next, assignment.Gears)
+	newStats, err := runStats(pm, next, assignment.Gears, scales)
 	if err != nil {
 		return nil, err
 	}
@@ -235,13 +283,16 @@ func uniformGears(n int, g dvfs.Gear) []dvfs.Gear {
 	return out
 }
 
-func runStats(pm *power.Model, res *dimemas.Result, gears []dvfs.Gear) (RunStats, error) {
+func runStats(pm *power.Model, res *dimemas.Result, gears []dvfs.Gear, scales []float64) (RunStats, error) {
 	usages := make([]power.Usage, len(res.Compute))
 	for r := range usages {
 		usages[r] = power.Usage{
 			Gear:        gears[r],
 			ComputeTime: res.Compute[r],
 			CommTime:    res.Comm(r),
+		}
+		if scales != nil {
+			usages[r].Scale = scales[r]
 		}
 	}
 	b, err := pm.EnergyBreakdown(usages)

@@ -63,6 +63,10 @@ func runBatch(cfg Config, items []BatchItem) ([]*Result, []error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	machine, err := cfg.machine()
+	if err != nil {
+		return nil, nil, stagerr.Wrap(stagerr.Validate, err)
+	}
 
 	// Shared stages, computed once. A nil cache gets a private one: the
 	// skeleton must be built regardless, and its retimings are bit-identical
@@ -74,7 +78,7 @@ func runBatch(cfg Config, items []BatchItem) ([]*Result, []error, error) {
 	simOpts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Ctx: cfg.Ctx}
 	orig := cfg.Baseline
 	if orig == nil {
-		orig, err = cache.Original(cfg.Trace, cfg.Platform, simOpts)
+		orig, err = cache.OriginalMachine(cfg.Trace, machine, simOpts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("analysis: original replay: %w", err)
 		}
@@ -87,12 +91,13 @@ func runBatch(cfg Config, items []BatchItem) ([]*Result, []error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	skel, err := cache.SkeletonFor(cfg.Trace, cfg.Platform, simOpts)
+	skel, err := cache.SkeletonForMachine(cfg.Trace, machine, simOpts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("analysis: timing skeleton: %w", err)
 	}
 	nominal := dvfs.GearAt(cfg.FMax)
-	origStats, err := runStats(pm, orig, uniformGears(len(orig.Compute), nominal))
+	scales := powerScales(&machine)
+	origStats, err := runStats(pm, orig, uniformGears(len(orig.Compute), nominal), scales)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -109,7 +114,7 @@ func runBatch(cfg Config, items []BatchItem) ([]*Result, []error, error) {
 			errs[i] = stagerr.Wrap(stagerr.Validate, core.ErrNilSet)
 			continue
 		}
-		balancer := &core.Balancer{Set: item.Set, Beta: cfg.Beta, FMax: cfg.FMax, Rounding: item.Rounding}
+		balancer := &core.Balancer{Set: item.Set, Beta: cfg.Beta, FMax: cfg.FMax, Rounding: item.Rounding, FMaxes: capFMaxes(&machine)}
 		a, err := balancer.Assign(item.Algorithm, orig.Compute)
 		if err != nil {
 			errs[i] = err
@@ -127,7 +132,7 @@ func runBatch(cfg Config, items []BatchItem) ([]*Result, []error, error) {
 		}
 		for k, i := range live {
 			res := batch.At(k)
-			newStats, err := runStats(pm, &res, assignments[i].Gears)
+			newStats, err := runStats(pm, &res, assignments[i].Gears, scales)
 			if err != nil {
 				errs[i] = err
 				continue

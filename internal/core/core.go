@@ -121,6 +121,14 @@ type Balancer struct {
 	// quantized gear choice upward. Zero — the offline default — keeps the
 	// assignment exactly as published.
 	Margin float64
+	// FMaxes optionally caps each rank's assignable frequency — the
+	// per-rank gear ceiling of a heterogeneous machine
+	// (dimemas.Capability.FMax). A nil slice or a zero entry means the
+	// rank can use the whole set. Capped ranks are clamped to the fastest
+	// gear at or below their ceiling, and the balancing target is lifted
+	// to stay attainable for them (a rank that cannot reach the target at
+	// its own top gear would otherwise become the new critical path).
+	FMaxes []float64
 }
 
 // Errors returned by Assign.
@@ -168,10 +176,28 @@ func (b *Balancer) Assign(alg Algorithm, compTimes []float64) (*Assignment, erro
 			return nil, fmt.Errorf("core: rank %d has invalid computation time %v", r, c)
 		}
 	}
+	if b.FMaxes != nil {
+		if len(b.FMaxes) != len(compTimes) {
+			return nil, fmt.Errorf("core: %d per-rank fmax entries for %d ranks", len(b.FMaxes), len(compTimes))
+		}
+		for r, f := range b.FMaxes {
+			if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("core: rank %d has invalid fmax cap %v", r, f)
+			}
+		}
+	}
 	var target float64
 	switch alg {
 	case MAX:
 		target = stats.Max(compTimes)
+		if b.FMaxes != nil {
+			// A capped loaded rank may be unable to reach the maximum; lift
+			// the target to its best attainable time so the others do not
+			// balance to a time nobody finishes at.
+			if floor := b.attainableFloor(compTimes); floor > target {
+				target = floor
+			}
+		}
 	case AVG:
 		target = b.attainableAverageTarget(compTimes)
 	default:
@@ -205,12 +231,23 @@ func (b *Balancer) Assign(alg Algorithm, compTimes []float64) (*Assignment, erro
 		default:
 			g = b.Set.Quantize(want)
 		}
+		if cap := b.rankCap(r); cap > 0 && g.Freq > cap+1e-12 {
+			g = b.Set.QuantizeDown(cap)
+		}
 		out.Gears[r] = g
 		if g.Freq > b.FMax+1e-12 {
 			out.Overclocked++
 		}
 	}
 	return out, nil
+}
+
+// rankCap returns rank r's frequency ceiling, or 0 when uncapped.
+func (b *Balancer) rankCap(r int) float64 {
+	if b.FMaxes == nil || r >= len(b.FMaxes) {
+		return 0
+	}
+	return b.FMaxes[r]
 }
 
 // attainableAverageTarget implements the paper's AVG feasibility rule:
@@ -224,14 +261,25 @@ func (b *Balancer) Assign(alg Algorithm, compTimes []float64) (*Assignment, erro
 // frequency, so the target is max(average, slowest rank's best time).
 func (b *Balancer) attainableAverageTarget(compTimes []float64) float64 {
 	avg := stats.Mean(compTimes)
+	return math.Max(avg, b.attainableFloor(compTimes))
+}
+
+// attainableFloor is the fastest time every rank can still reach: each rank
+// is bounded by the set's top gear, further capped by its own frequency
+// ceiling on heterogeneous machines.
+func (b *Balancer) attainableFloor(compTimes []float64) float64 {
 	top := b.Set.Top().Freq
 	floor := 0.0
-	for _, c := range compTimes {
-		if t := timemodel.MinAttainableTime(b.Beta, b.FMax, c, top); t > floor {
+	for r, c := range compTimes {
+		rtop := top
+		if cap := b.rankCap(r); cap > 0 && cap < rtop {
+			rtop = cap
+		}
+		if t := timemodel.MinAttainableTime(b.Beta, b.FMax, c, rtop); t > floor {
 			floor = t
 		}
 	}
-	return math.Max(avg, floor)
+	return floor
 }
 
 // PredictedComputeTimes returns each rank's computation time under the

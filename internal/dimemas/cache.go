@@ -21,6 +21,10 @@ type replayKey struct {
 	beta     float64
 	fmax     float64
 	platform Platform
+	// machine is Machine.Fingerprint(): the canonical encoding of the
+	// topology and capability layers. "" for the flat homogeneous machine,
+	// so keys minted by the plain-Platform API are unchanged.
+	machine  string
 	timeline bool
 	skeleton bool // true for timing-skeleton entries (timeline is false)
 }
@@ -107,7 +111,14 @@ func NewReplayCacheWithLimit(maxEntries int) *ReplayCache {
 // uncached Simulate call, so callers can thread an optional cache without
 // branching.
 func (c *ReplayCache) Original(t *trace.Trace, p Platform, opts Options) (*Result, error) {
-	return c.original(t, -1, t, p, opts)
+	return c.original(t, -1, t, FlatMachine(p), opts)
+}
+
+// OriginalMachine is Original on the layered machine model; machines are
+// distinguished in the key by their fingerprint, so heterogeneous
+// per-request machines share one cache safely.
+func (c *ReplayCache) OriginalMachine(t *trace.Trace, m Machine, opts Options) (*Result, error) {
+	return c.original(t, -1, t, m, opts)
 }
 
 // OriginalSlice is Original for a per-iteration sub-trace: sub must be
@@ -115,7 +126,7 @@ func (c *ReplayCache) Original(t *trace.Trace, p Platform, opts Options) (*Resul
 // instead of the sub-trace pointer lets repeated emulations of the same
 // parent trace (which re-slice it every run) share the replays.
 func (c *ReplayCache) OriginalSlice(parent *trace.Trace, iteration int, sub *trace.Trace, p Platform, opts Options) (*Result, error) {
-	return c.original(parent, iteration, sub, p, opts)
+	return c.original(parent, iteration, sub, FlatMachine(p), opts)
 }
 
 // SkeletonFor returns the memoized timing skeleton of t under opts
@@ -123,7 +134,18 @@ func (c *ReplayCache) OriginalSlice(parent *trace.Trace, iteration int, sub *tra
 // skeleton covers every gear assignment and timeline mode). A nil receiver
 // builds an uncached skeleton.
 func (c *ReplayCache) SkeletonFor(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
-	return c.skeleton(t, -1, t, p, opts)
+	return c.skeleton(t, -1, t, FlatMachine(p), opts)
+}
+
+// SkeletonForMachine is SkeletonFor on the layered machine model (keyed by
+// the machine fingerprint in addition to the platform scalars).
+func (c *ReplayCache) SkeletonForMachine(t *trace.Trace, m Machine, opts Options) (*Skeleton, error) {
+	return c.skeleton(t, -1, t, m, opts)
+}
+
+// SkeletonForSliceMachine is SkeletonForSlice on the layered machine model.
+func (c *ReplayCache) SkeletonForSliceMachine(parent *trace.Trace, iteration int, sub *trace.Trace, m Machine, opts Options) (*Skeleton, error) {
+	return c.skeleton(parent, iteration, sub, m, opts)
 }
 
 // SkeletonForSlice is SkeletonFor for a per-iteration sub-trace: sub must be
@@ -133,22 +155,23 @@ func (c *ReplayCache) SkeletonFor(t *trace.Trace, p Platform, opts Options) (*Sk
 // server requests) share one skeleton, exactly as OriginalSlice does for
 // baseline replays.
 func (c *ReplayCache) SkeletonForSlice(parent *trace.Trace, iteration int, sub *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
-	return c.skeleton(parent, iteration, sub, p, opts)
+	return c.skeleton(parent, iteration, sub, FlatMachine(p), opts)
 }
 
-func (c *ReplayCache) skeleton(keyTrace *trace.Trace, slice int, build *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
+func (c *ReplayCache) skeleton(keyTrace *trace.Trace, slice int, build *trace.Trace, m Machine, opts Options) (*Skeleton, error) {
 	if c == nil {
-		return BuildSkeleton(build, p, opts)
+		return BuildSkeletonMachine(build, m, opts)
 	}
 	k := replayKey{
 		tr:       keyTrace,
 		slice:    slice,
 		beta:     opts.Beta,
 		fmax:     opts.FMax,
-		platform: p,
+		platform: m.Base,
+		machine:  m.Fingerprint(),
 		skeleton: true,
 	}
-	e, err := c.flight(k, opts, func(e *replayEntry) { e.skel, e.err = BuildSkeleton(build, p, opts) })
+	e, err := c.flight(k, opts, func(e *replayEntry) { e.skel, e.err = BuildSkeletonMachine(build, m, opts) })
 	if err != nil {
 		return nil, err
 	}
@@ -160,32 +183,39 @@ func (c *ReplayCache) skeleton(keyTrace *trace.Trace, slice int, build *trace.Tr
 // but an order of magnitude cheaper — when per-rank frequencies are given.
 // A nil receiver degrades to a plain Simulate call.
 func (c *ReplayCache) Replay(t *trace.Trace, p Platform, opts Options) (*Result, error) {
+	return c.ReplayMachine(t, FlatMachine(p), opts)
+}
+
+// ReplayMachine is Replay on the layered machine model: the memoized
+// machine baseline for nil Freqs, a machine-skeleton retiming otherwise.
+func (c *ReplayCache) ReplayMachine(t *trace.Trace, m Machine, opts Options) (*Result, error) {
 	if opts.Freqs == nil {
-		return c.Original(t, p, opts)
+		return c.OriginalMachine(t, m, opts)
 	}
 	if c == nil {
-		return Simulate(t, p, opts)
+		return SimulateMachine(t, m, opts)
 	}
-	sk, err := c.SkeletonFor(t, p, opts)
+	sk, err := c.SkeletonForMachine(t, m, opts)
 	if err != nil {
 		return nil, err
 	}
 	return sk.Retime(opts.Freqs, opts.RecordTimeline)
 }
 
-func (c *ReplayCache) original(keyTrace *trace.Trace, slice int, sim *trace.Trace, p Platform, opts Options) (*Result, error) {
+func (c *ReplayCache) original(keyTrace *trace.Trace, slice int, sim *trace.Trace, m Machine, opts Options) (*Result, error) {
 	if c == nil || opts.Freqs != nil {
-		return Simulate(sim, p, opts)
+		return SimulateMachine(sim, m, opts)
 	}
 	k := replayKey{
 		tr:       keyTrace,
 		slice:    slice,
 		beta:     opts.Beta,
 		fmax:     opts.FMax,
-		platform: p,
+		platform: m.Base,
+		machine:  m.Fingerprint(),
 		timeline: opts.RecordTimeline,
 	}
-	e, err := c.flight(k, opts, func(e *replayEntry) { e.res, e.err = Simulate(sim, p, opts) })
+	e, err := c.flight(k, opts, func(e *replayEntry) { e.res, e.err = SimulateMachine(sim, m, opts) })
 	if err != nil {
 		return nil, err
 	}

@@ -65,8 +65,8 @@ func (p Platform) Validate() error {
 	if p.EagerLimit < 0 {
 		return stagerr.Errorf(stagerr.Validate, "dimemas: negative eager limit %d", p.EagerLimit)
 	}
-	if p.Overhead < 0 {
-		return stagerr.Errorf(stagerr.Validate, "dimemas: negative overhead %v", p.Overhead)
+	if p.Overhead < 0 || math.IsNaN(p.Overhead) {
+		return stagerr.Errorf(stagerr.Validate, "dimemas: invalid overhead %v", p.Overhead)
 	}
 	return nil
 }
@@ -87,21 +87,29 @@ func ceilLog2(n int) int {
 // with a per-rank payload of b bytes, measured from the moment the last rank
 // arrives.
 func (p Platform) CollectiveCost(c trace.Collective, b int64, n int) float64 {
+	return collCost(c, b, n, p.Latency, p.Bandwidth, p.LinearAllToAll)
+}
+
+// collCost is the collective model over one latency/bandwidth pair. Shared
+// by the flat Platform path and the topology-aware Machine path (which feeds
+// it the slowest link the collective's spanning tree crosses) so both price
+// a collective with the identical arithmetic.
+func collCost(c trace.Collective, b int64, n int, lat, bw float64, linear bool) float64 {
 	if n <= 1 {
 		return 0
 	}
 	stages := float64(ceilLog2(n))
-	step := p.transfer(b)
+	step := lat + float64(b)/bw
 	switch c {
 	case trace.CollBarrier:
-		return stages * p.Latency
+		return stages * lat
 	case trace.CollBcast, trace.CollReduce:
 		return stages * step
 	case trace.CollAllReduce:
 		// Reduce followed by broadcast.
 		return 2 * stages * step
 	case trace.CollAllGather, trace.CollAllToAll:
-		if p.LinearAllToAll {
+		if linear {
 			return float64(n-1) * step
 		}
 		return stages * step

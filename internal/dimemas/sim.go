@@ -270,7 +270,23 @@ func (c *simContext) reset(idx *traceIndex) {
 // differs, and no arithmetic crosses rank boundaries except order-invariant
 // max reductions).
 func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	m := Machine{Base: p}
+	return simulate(t, &m, opts)
+}
+
+// SimulateMachine is Simulate on the layered machine model: point-to-point
+// wire times are resolved per (sender, receiver) pair through the topology
+// layer, collectives are priced over the slowest spanned link, and each
+// rank's compute bursts are stretched by 1/Efficiency[r] (the duration is
+// scaled before the DVFS slowdown is applied, the same association
+// Skeleton.RetimeScaled uses). A flat machine — both layers nil — is
+// bit-identical to Simulate(t, m.Base, opts).
+func SimulateMachine(t *trace.Trace, m Machine, opts Options) (*Result, error) {
+	return simulate(t, &m, opts)
+}
+
+func simulate(t *trace.Trace, m *Machine, opts Options) (*Result, error) {
+	if err := m.Base.Validate(); err != nil {
 		return nil, err
 	}
 	idx := t.ReplayIndex(buildIndex).(*traceIndex)
@@ -278,6 +294,11 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 		return nil, stagerr.Wrap(stagerr.Validate, idx.err)
 	}
 	n := idx.nranks
+	if !m.Flat() {
+		if err := m.ValidateFor(n); err != nil {
+			return nil, err
+		}
+	}
 	if err := opts.validateModel(); err != nil {
 		return nil, err
 	}
@@ -303,6 +324,7 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 		}
 		freqs = c.freqs
 	}
+	scale := m.ScaleVector()
 
 	// Every rank starts runnable, in rank order. After that, a rank is
 	// revisited only when the event it is parked on fires: a send posted on
@@ -320,7 +342,7 @@ func Simulate(t *trace.Trace, p Platform, opts Options) (*Result, error) {
 	for head := 0; head < len(c.queue); head++ {
 		r := c.queue[head]
 		c.queued[r] = false
-		c.step(int(r), t, idx, p, &opts, freqs)
+		c.step(int(r), t, idx, m, &opts, freqs, scale)
 		if c.cancelled {
 			return nil, opts.Ctx.Err()
 		}
@@ -364,7 +386,7 @@ func (c *simContext) wake(r int32) {
 // step retires as many records as possible for rank r, parking it on the
 // first event that has not fired yet and waking the ranks unblocked by its
 // own progress.
-func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, opts *Options, freqs []float64) {
+func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, m *Machine, opts *Options, freqs, scale []float64) {
 	rs := &c.ranks[r]
 	recs := t.Ranks[r]
 	chanOf := idx.chanOf[r]
@@ -409,7 +431,14 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 			if beta < 0 {
 				beta = opts.Beta
 			}
-			d := rec.Duration * timemodel.Slowdown(beta, opts.FMax, freqs[r])
+			dur := rec.Duration
+			if scale != nil {
+				// Capability stretch first, DVFS slowdown second — the
+				// association RetimeScaled uses, so machine skeleton
+				// retimes stay bit-identical to this replay.
+				dur *= scale[r]
+			}
+			d := dur * timemodel.Slowdown(beta, opts.FMax, freqs[r])
 			c.addSeg(rs, rs.clock, rs.clock+d, StateCompute, opts)
 			rs.clock += d
 			rs.compute += d
@@ -417,12 +446,12 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 
 		case trace.KindSend:
 			start := rs.clock
-			rs.clock += p.Overhead
+			rs.clock += m.Base.Overhead
 			ch := &c.chans[chanOf[rs.pc]]
 			si := ch.base + ch.posted
 			ch.posted++
 			e := &c.sends[si]
-			*e = sendEntry{ready: rs.clock, bytes: rec.Bytes, rendezvous: rec.Bytes > p.EagerLimit}
+			*e = sendEntry{ready: rs.clock, bytes: rec.Bytes, rendezvous: rec.Bytes > m.Base.EagerLimit}
 			if ch.waiter >= 0 {
 				c.wake(ch.waiter)
 				ch.waiter = -1
@@ -439,7 +468,7 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 		case trace.KindRecv:
 			if rs.blocked != blockedRecv {
 				rs.blockStart = rs.clock
-				rs.clock += p.Overhead
+				rs.clock += m.Base.Overhead
 			}
 			cid := chanOf[rs.pc]
 			ch := &c.chans[cid]
@@ -450,14 +479,15 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 			}
 			e := &c.sends[ch.base+ch.paired]
 			ch.paired++
+			wire := m.transferPair(int(idx.chanSrc[cid]), r, e.bytes)
 			if e.rendezvous {
-				end := math.Max(rs.clock, e.ready) + p.transfer(e.bytes)
+				end := math.Max(rs.clock, e.ready) + wire
 				e.done = true
 				e.end = end
 				rs.clock = end
 				c.wake(idx.chanSrc[cid])
 			} else {
-				arrival := e.ready + p.transfer(e.bytes)
+				arrival := e.ready + wire
 				rs.clock = math.Max(rs.clock, arrival)
 			}
 			c.addSeg(rs, rs.blockStart, rs.clock, StateComm, opts)
@@ -472,7 +502,7 @@ func (c *simContext) step(r int, t *trace.Trace, idx *traceIndex, p Platform, op
 			}
 			if int(ci.arrived) == n {
 				ci.complete = true
-				ci.end = ci.maxReady + p.CollectiveCost(rec.Coll, rec.Bytes, n)
+				ci.end = ci.maxReady + m.collectiveCost(rec.Coll, rec.Bytes, n)
 				c.addSeg(rs, rs.clock, ci.end, StateComm, opts)
 				rs.clock = ci.end
 				collID := rs.collIdx

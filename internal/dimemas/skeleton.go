@@ -122,12 +122,38 @@ type skelBuilder struct {
 // are ignored because the skeleton is independent of both. A trace that
 // would deadlock under Simulate fails here with the identical diagnostic.
 func BuildSkeleton(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) {
-	if err := p.Validate(); err != nil {
+	m := Machine{Base: p}
+	return buildSkeleton(t, &m, opts)
+}
+
+// BuildSkeletonMachine is BuildSkeleton on the layered machine model. The
+// topology layer is resolved here, at record time: every recv op's wire
+// time comes from the (sender, receiver) pair's link and every collective
+// is priced over its slowest spanned link — all gear-independent, so the
+// retime tiers need no topology awareness. The capability layer's
+// efficiency stretch is baked into the recorded compute durations (duration
+// × 1/Efficiency[rank]), so Retime/RetimeDelta/RetimeBatch replay the
+// heterogeneous machine with unchanged arithmetic; Retime on a machine
+// skeleton is bit-identical to SimulateMachine with the same inputs. An
+// explicit RetimeScaled scale composes multiplicatively on top (drift over
+// capability). A flat machine records a skeleton bit-identical to
+// BuildSkeleton(t, m.Base, opts).
+func BuildSkeletonMachine(t *trace.Trace, m Machine, opts Options) (*Skeleton, error) {
+	return buildSkeleton(t, &m, opts)
+}
+
+func buildSkeleton(t *trace.Trace, m *Machine, opts Options) (*Skeleton, error) {
+	if err := m.Base.Validate(); err != nil {
 		return nil, err
 	}
 	idx := t.ReplayIndex(buildIndex).(*traceIndex)
 	if idx.err != nil {
 		return nil, stagerr.Wrap(stagerr.Validate, idx.err)
+	}
+	if !m.Flat() {
+		if err := m.ValidateFor(idx.nranks); err != nil {
+			return nil, err
+		}
 	}
 	if err := opts.validateModel(); err != nil {
 		return nil, err
@@ -142,7 +168,7 @@ func BuildSkeleton(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) 
 		ncolls:   idx.numColls,
 		beta:     opts.Beta,
 		fmax:     opts.FMax,
-		overhead: p.Overhead,
+		overhead: m.Base.Overhead,
 		ops:      make([]skelOp, 0, t.NumRecords()),
 	}
 	nchans := len(idx.chanBase)
@@ -173,10 +199,11 @@ func BuildSkeleton(t *trace.Trace, p Platform, opts Options) (*Skeleton, error) 
 			return nil, err
 		}
 	}
+	scale := m.ScaleVector()
 	for head := 0; head < len(b.queue); head++ {
 		r := b.queue[head]
 		b.queued[r] = false
-		s.buildStep(b, int(r), t, idx, p, &opts)
+		s.buildStep(b, int(r), t, idx, m, &opts, scale)
 		if b.cancelled {
 			return nil, opts.Ctx.Err()
 		}
@@ -199,7 +226,7 @@ func (b *skelBuilder) wake(r int32) {
 // buildStep retires as many records as possible for rank r, mirroring
 // simContext.step with the arithmetic stripped out and ops emitted at every
 // retirement point.
-func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIndex, p Platform, opts *Options) {
+func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIndex, m *Machine, opts *Options, scale []float64) {
 	recs := t.Ranks[r]
 	chanOf := idx.chanOf[r]
 	n := idx.nranks
@@ -240,10 +267,17 @@ func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIn
 			if beta < 0 {
 				beta = opts.Beta
 			}
+			dur := rec.Duration
+			if scale != nil {
+				// Capability efficiency is gear-independent; baking the
+				// stretch into the recorded duration makes every retime
+				// tier heterogeneity-aware with unchanged arithmetic.
+				dur *= scale[r]
+			}
 			if beta == s.beta {
-				s.ops = append(s.ops, skelOp{kind: opCompute, rank: int32(r), f1: rec.Duration})
+				s.ops = append(s.ops, skelOp{kind: opCompute, rank: int32(r), f1: dur})
 			} else {
-				s.ops = append(s.ops, skelOp{kind: opComputeBeta, rank: int32(r), f1: rec.Duration, arg: int32(len(s.betas))})
+				s.ops = append(s.ops, skelOp{kind: opComputeBeta, rank: int32(r), f1: dur, arg: int32(len(s.betas))})
 				s.betas = append(s.betas, beta)
 			}
 			b.pc[r]++
@@ -252,7 +286,7 @@ func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIn
 			cid := chanOf[b.pc[r]]
 			si := idx.chanBase[cid] + b.posted[cid]
 			b.posted[cid]++
-			rendezvous := rec.Bytes > p.EagerLimit
+			rendezvous := rec.Bytes > m.Base.EagerLimit
 			b.rend[si] = rendezvous
 			if w := b.waiter[cid]; w >= 0 {
 				b.wake(w)
@@ -280,8 +314,10 @@ func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIn
 			// Validate guarantees the k-th send and k-th receive of a
 			// channel carry the same byte count, so the receive record's
 			// size yields the identical wire time Simulate derives from
-			// the posted send.
-			wire := p.transfer(rec.Bytes)
+			// the posted send. The pair's link is resolved here, at record
+			// time — wire costs are gear-independent, so the retime tiers
+			// never need the topology.
+			wire := m.transferPair(int(idx.chanSrc[cid]), r, rec.Bytes)
 			if b.rend[si] {
 				s.ops = append(s.ops, skelOp{kind: opRecvRend, rank: int32(r), src: idx.chanSrc[cid], f1: wire})
 				b.done[si] = true
@@ -301,7 +337,7 @@ func (s *Skeleton) buildStep(b *skelBuilder, r int, t *trace.Trace, idx *traceIn
 				// the same operation and payload, so the cost taken from
 				// this rank's record matches whichever rank arrives last
 				// under any gear assignment.
-				cost := p.CollectiveCost(rec.Coll, rec.Bytes, n)
+				cost := m.collectiveCost(rec.Coll, rec.Bytes, n)
 				s.ops = append(s.ops, skelOp{kind: opColl, rank: int32(r), f1: cost, arg: ci})
 				b.collIdx[r]++
 				b.pc[r]++

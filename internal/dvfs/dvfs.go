@@ -235,6 +235,29 @@ func (s *Set) Quantize(f float64) Gear {
 	return s.gears[i]
 }
 
+// QuantizeDown maps a frequency ceiling onto the fastest operating point of
+// the set at or below it, clamping to the bottom gear when even that
+// exceeds the ceiling. It is the quantizer for per-rank frequency caps on
+// heterogeneous machines: a rank whose silicon tops out at f must not be
+// assigned a gear above f.
+func (s *Set) QuantizeDown(f float64) Gear {
+	if s.continuous {
+		if f >= s.max {
+			return s.Top()
+		}
+		if f <= s.min {
+			return s.Bottom()
+		}
+		return GearAt(f)
+	}
+	// First gear with Freq > f; its predecessor is the fastest gear ≤ f.
+	i := sort.Search(len(s.gears), func(i int) bool { return s.gears[i].Freq > f })
+	if i == 0 {
+		return s.gears[0]
+	}
+	return s.gears[i-1]
+}
+
 // QuantizeNearest maps a desired frequency onto the nearest gear of the set
 // (by absolute frequency distance), clamping outside the range. Unlike the
 // paper's closest-higher rule (Quantize), this can pick a slower gear and

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHeteroCapabilitySweep asserts the extension's core claim on every
+// row: on a heterogeneous machine the capability-proportional (deliberately
+// imbalanced) distribution beats the paper's uniform split, and the uniform
+// split on the heterogeneous machine is never slower than the homogeneous
+// reference (half the ranks only got faster).
+func TestHeteroCapabilitySweep(t *testing.T) {
+	rows, err := sharedSuite.HeteroCapabilitySweep(HeteroApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(HeteroApps()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(HeteroApps()))
+	}
+	for _, r := range rows {
+		if !(r.ProportionalTime < r.BalancedTime) {
+			t.Errorf("%s: proportional %v not faster than balanced %v", r.App, r.ProportionalTime, r.BalancedTime)
+		}
+		if r.BalancedTime > r.FlatTime {
+			t.Errorf("%s: balanced-on-hetero %v slower than flat %v (speedups can't hurt)", r.App, r.BalancedTime, r.FlatTime)
+		}
+		if r.Gain <= 1 {
+			t.Errorf("%s: gain %v not > 1", r.App, r.Gain)
+		}
+	}
+}
+
+// TestHeteroPlacementSweep asserts the topology claim on every scenario:
+// the random placement is worse than block (the premise), and the local
+// search strictly improves on the random start and lands within a whisker
+// of the block optimum.
+func TestHeteroPlacementSweep(t *testing.T) {
+	rows, err := sharedSuite.HeteroPlacementSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ShuffledTime <= r.BlockTime {
+			t.Fatalf("%s: premise broken — shuffled %v not worse than block %v", r.Scenario, r.ShuffledTime, r.BlockTime)
+		}
+		if !(r.OptimizedTime < r.ShuffledTime) {
+			t.Errorf("%s: optimized %v did not improve on shuffled %v", r.Scenario, r.OptimizedTime, r.ShuffledTime)
+		}
+		// The search must recover at least half the shuffle's locality loss;
+		// on the pairs scenario (where every split pair admits a strictly
+		// improving swap) it must reach the block optimum outright. The
+		// pipeline chain has genuine swap-local optima — a swap moves four
+		// chain edges at once — so near-optimality is not guaranteed there.
+		if gap := r.ShuffledTime - r.BlockTime; r.OptimizedTime > r.ShuffledTime-gap/2 {
+			t.Errorf("%s: optimized %v recovered under half the gap (block %v, shuffled %v)",
+				r.Scenario, r.OptimizedTime, r.BlockTime, r.ShuffledTime)
+		}
+		if r.Scenario == "pairs" && r.OptimizedTime > r.BlockTime*1.001 {
+			t.Errorf("pairs: optimized %v far from block optimum %v", r.OptimizedTime, r.BlockTime)
+		}
+		if r.Swaps == 0 {
+			t.Errorf("%s: search did no work: %+v", r.Scenario, r)
+		}
+	}
+}
+
+// TestHeteroStudyRendersTables smoke-tests the registered experiment
+// end-to-end through the registry.
+func TestHeteroStudyRendersTables(t *testing.T) {
+	e, err := ByID("hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(sharedSuite, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"capability-aware work distribution", "topology-aware placement", "pairs", "pipeline", "WRF-128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -169,6 +169,9 @@ func All() []Experiment {
 		{"rebalance", "Extension: online rebalancing under load drift (policy sweep)", func(s *Suite, w io.Writer) error {
 			return s.RebalanceStudy(w)
 		}},
+		{"hetero", "Extension: heterogeneous machine — capability-proportional shares and topology-aware placement", func(s *Suite, w io.Writer) error {
+			return s.HeteroStudy(w)
+		}},
 	}
 }
 

@@ -39,8 +39,15 @@ type Config struct {
 	NGears int
 	// Platform, Power, Beta, FMax as elsewhere; zero values take defaults.
 	Platform dimemas.Platform
-	Power    power.Config
-	Beta     float64
+	// Machine optionally layers topology and per-rank capability on top of
+	// Platform (nil means the flat homogeneous machine; a zero Base inherits
+	// the normalized Platform). The search then profiles and scores on the
+	// layered machine: replays resolve its topology, the per-application
+	// balancer honors per-rank frequency ceilings, and energy accounting
+	// applies per-rank power scales.
+	Machine *dimemas.Machine
+	Power   power.Config
+	Beta    float64
 	// BetaSet marks Beta as explicitly chosen, so an explicit Beta = 0
 	// is honored instead of defaulting to 0.5 (see analysis.Config).
 	BetaSet bool
@@ -103,6 +110,7 @@ type searcher struct {
 	cfg      Config
 	pm       *power.Model
 	profiles []appProfile
+	pscale   []float64 // per-rank power multipliers (nil: homogeneous)
 	bal      core.Balancer
 	gears    []dvfs.Gear // reusable candidate gear list
 	evals    int
@@ -139,6 +147,21 @@ func (cfg *Config) normalize() error {
 	return nil
 }
 
+// machine resolves the layered machine the search runs on (call after
+// normalize): the explicit Machine when configured, inheriting the
+// normalized Platform into a zero Base, or the flat homogeneous machine.
+// Per-trace rank-count validation happens in newSearcher.
+func (cfg *Config) machine() dimemas.Machine {
+	if cfg.Machine == nil {
+		return dimemas.FlatMachine(cfg.Platform)
+	}
+	m := *cfg.Machine
+	if m.Base == (dimemas.Platform{}) {
+		m.Base = cfg.Platform
+	}
+	return m
+}
+
 // newSearcher profiles every application once (baseline replay + timing
 // skeleton, both shared through the cache when one is configured) and
 // preallocates the per-evaluation buffers.
@@ -147,21 +170,31 @@ func newSearcher(cfg Config) (*searcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	machine := cfg.machine()
+	var fmaxes, pscale []float64
+	if machine.Cap != nil {
+		fmaxes = machine.Cap.FMax
+		pscale = machine.Cap.PowerScale
+	}
 	s := &searcher{
 		cfg:      cfg,
-		pm:       pm,
 		profiles: make([]appProfile, len(cfg.Traces)),
-		bal:      core.Balancer{Beta: cfg.Beta, FMax: cfg.FMax},
+		pm:       pm,
+		pscale:   pscale,
+		bal:      core.Balancer{Beta: cfg.Beta, FMax: cfg.FMax, FMaxes: fmaxes},
 		gears:    make([]dvfs.Gear, cfg.NGears),
 	}
 	nominal := dvfs.GearAt(cfg.FMax)
 	opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Ctx: cfg.Ctx}
 	for i, tr := range cfg.Traces {
-		res, err := cfg.Cache.Original(tr, cfg.Platform, opts)
+		if err := machine.ValidateFor(tr.NumRanks()); err != nil {
+			return nil, stagerr.Wrap(stagerr.Validate, fmt.Errorf("gearopt: trace %d: %w", i, err))
+		}
+		res, err := cfg.Cache.OriginalMachine(tr, machine, opts)
 		if err != nil {
 			return nil, fmt.Errorf("gearopt: profiling trace %d: %w", i, err)
 		}
-		skel, err := cfg.Cache.SkeletonFor(tr, cfg.Platform, opts)
+		skel, err := cfg.Cache.SkeletonForMachine(tr, machine, opts)
 		if err != nil {
 			return nil, fmt.Errorf("gearopt: skeleton for trace %d: %w", i, err)
 		}
@@ -172,7 +205,7 @@ func newSearcher(cfg Config) (*searcher, error) {
 		p.usage = make([]power.Usage, n)
 		p.freqs = make([]float64, n)
 		for r := 0; r < n; r++ {
-			p.usage[r] = power.Usage{Gear: nominal, ComputeTime: res.Compute[r], CommTime: res.Comm(r)}
+			p.usage[r] = power.Usage{Gear: nominal, ComputeTime: res.Compute[r], CommTime: res.Comm(r), Scale: s.scaleAt(r)}
 		}
 		e, err := pm.Energy(p.usage)
 		if err != nil {
@@ -181,6 +214,15 @@ func newSearcher(cfg Config) (*searcher, error) {
 		p.origEnergy = e
 	}
 	return s, nil
+}
+
+// scaleAt returns rank r's power multiplier (0 — nominal — when the machine
+// is homogeneous; power.Usage treats the zero value as ×1).
+func (s *searcher) scaleAt(r int) float64 {
+	if s.pscale == nil || r >= len(s.pscale) {
+		return 0
+	}
+	return s.pscale[r]
 }
 
 // objective scores one candidate gear placement exactly: assign MAX gears
@@ -230,7 +272,7 @@ func (s *searcher) objective(freqs []float64) (float64, error) {
 		}
 		for r := range p.usage {
 			ct := res.Compute[r]
-			p.usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: res.Time - ct}
+			p.usage[r] = power.Usage{Gear: a.Gears[r], ComputeTime: ct, CommTime: res.Time - ct, Scale: s.scaleAt(r)}
 		}
 		e, err := s.pm.Energy(p.usage)
 		if err != nil {
@@ -357,6 +399,7 @@ func fullScore(cfg Config, set *dvfs.Set) (float64, error) {
 			res, err := analysis.Run(analysis.Config{
 				Trace:     tr,
 				Platform:  cfg.Platform,
+				Machine:   cfg.Machine,
 				Power:     cfg.Power,
 				Set:       set,
 				Algorithm: core.MAX,

@@ -138,6 +138,11 @@ type Usage struct {
 	Gear        dvfs.Gear
 	ComputeTime float64 // seconds spent in computation at Gear
 	CommTime    float64 // seconds spent communicating / blocked in MPI
+	// Scale multiplies this CPU's modeled power draw — the capability
+	// layer's per-rank multiplier (dimemas.Capability.PowerScale) for
+	// heterogeneous machines. The zero value means nominal (×1), so
+	// homogeneous accounting is unchanged.
+	Scale float64
 }
 
 // Total returns the wall time covered by the usage row.
@@ -172,9 +177,16 @@ func (m *Model) EnergyBreakdown(usages []Usage) (Breakdown, error) {
 		if u.Gear.Freq <= 0 || u.Gear.Volt <= 0 {
 			return Breakdown{}, fmt.Errorf("power: rank %d has invalid gear %v", i, u.Gear)
 		}
-		b.DynamicCompute += m.Dynamic(Compute, u.Gear) * u.ComputeTime
-		b.DynamicComm += m.Dynamic(Comm, u.Gear) * u.CommTime
-		b.Static += m.Static(u.Gear) * u.Total()
+		k := u.Scale
+		if k == 0 {
+			k = 1
+		}
+		if k < 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+			return Breakdown{}, fmt.Errorf("power: rank %d has invalid power scale %v", i, u.Scale)
+		}
+		b.DynamicCompute += k * m.Dynamic(Compute, u.Gear) * u.ComputeTime
+		b.DynamicComm += k * m.Dynamic(Comm, u.Gear) * u.CommTime
+		b.Static += k * m.Static(u.Gear) * u.Total()
 	}
 	return b, nil
 }

@@ -45,11 +45,22 @@ type Profile struct {
 // EnergyBreakdown integrates, so Profile.Energy() equals the energy of the
 // equivalent Usage rows up to summation order.
 func BuildProfile(m *Model, timelines [][]dimemas.Segment, gears []dvfs.Gear, until float64) (*Profile, error) {
+	return BuildProfileScaled(m, timelines, gears, nil, until)
+}
+
+// BuildProfileScaled is BuildProfile with an optional per-rank power
+// multiplier (the capability layer's PowerScale on heterogeneous machines):
+// rank r draws scales[r]·Power in both phases. A nil slice means every rank
+// is nominal, reproducing BuildProfile bit for bit.
+func BuildProfileScaled(m *Model, timelines [][]dimemas.Segment, gears []dvfs.Gear, scales []float64, until float64) (*Profile, error) {
 	if len(timelines) == 0 {
 		return nil, fmt.Errorf("power: profile needs at least one rank timeline")
 	}
 	if len(gears) != len(timelines) {
 		return nil, fmt.Errorf("power: %d gears for %d rank timelines", len(gears), len(timelines))
+	}
+	if scales != nil && len(scales) != len(timelines) {
+		return nil, fmt.Errorf("power: %d power scales for %d rank timelines", len(scales), len(timelines))
 	}
 	if until <= 0 {
 		return nil, fmt.Errorf("power: profile horizon must be positive, got %v", until)
@@ -72,8 +83,15 @@ func BuildProfile(m *Model, timelines [][]dimemas.Segment, gears []dvfs.Gear, un
 		if g.Freq <= 0 || g.Volt <= 0 {
 			return nil, fmt.Errorf("power: rank %d has invalid gear %v", r, g)
 		}
-		base += m.Power(Comm, g)
-		delta := m.Power(Compute, g) - m.Power(Comm, g)
+		k := 1.0
+		if scales != nil {
+			k = scales[r]
+			if k <= 0 || k != k {
+				return nil, fmt.Errorf("power: rank %d has invalid power scale %v", r, k)
+			}
+		}
+		base += k * m.Power(Comm, g)
+		delta := k * (m.Power(Compute, g) - m.Power(Comm, g))
 		for _, seg := range timelines[r] {
 			if seg.Start < 0 || seg.End < seg.Start || seg.End > until {
 				return nil, fmt.Errorf("power: rank %d has segment [%v, %v] outside [0, %v]", r, seg.Start, seg.End, until)

@@ -94,6 +94,14 @@ type Config struct {
 	Trace *trace.Trace
 	// Platform models the interconnect; zero value means DefaultPlatform.
 	Platform dimemas.Platform
+	// Machine optionally layers topology and per-rank capability on top of
+	// Platform (nil means the flat homogeneous machine). The scheduler then
+	// becomes capability-aware: per-rank power draw is multiplied by
+	// Capability.PowerScale (in the cap accounting, the energy scores, and
+	// the reported profiles), and per-rank frequency ceilings
+	// (Capability.FMax) bound which gears each rank may be assigned. A
+	// Machine with a zero Base inherits the normalized Platform.
+	Machine *dimemas.Machine
 	// Power configures the CPU power model; zero value means the paper's
 	// baseline. The cap is expressed in this model's units.
 	Power power.Config
@@ -237,14 +245,34 @@ func (c *Config) normalize() error {
 	return nil
 }
 
+// machine resolves the layered machine the run schedules for: the explicit
+// Machine when configured (inheriting the normalized Platform into a zero
+// Base), the flat homogeneous machine otherwise. Call after normalize.
+func (c *Config) machine() (dimemas.Machine, error) {
+	if c.Machine == nil {
+		return dimemas.FlatMachine(c.Platform), nil
+	}
+	m := *c.Machine
+	if m.Base == (dimemas.Platform{}) {
+		m.Base = c.Platform
+	}
+	if err := m.ValidateFor(c.Trace.NumRanks()); err != nil {
+		return dimemas.Machine{}, err
+	}
+	return m, nil
+}
+
 // scheduler carries one run's state: the frequency-independent inputs, the
 // per-gear constants, and the reusable evaluation buffers.
 type scheduler struct {
 	cfg      *Config
+	machine  dimemas.Machine
 	pm       *power.Model
 	gears    []dvfs.Gear // ascending
 	pComp    []float64   // per gear: compute-phase power
 	sd       []float64   // per gear: β slowdown factor vs FMax
+	pscale   []float64   // per rank: power multiplier (nil: homogeneous)
+	maxGi    []int       // per rank: highest assignable gear index (nil: whole set)
 	baseComp []float64   // per rank: computation time at FMax (read-only)
 	skel     *dimemas.Skeleton
 	res      dimemas.Result     // reusable replay output (FreshReplays path)
@@ -277,6 +305,10 @@ func run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	machine, err := cfg.machine()
+	if err != nil {
+		return nil, stagerr.Wrap(stagerr.Validate, err)
+	}
 
 	opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Ctx: cfg.Ctx}
 	tlOpts := opts
@@ -286,19 +318,19 @@ func run(cfg Config) (*Result, error) {
 		skel *dimemas.Skeleton
 	)
 	if cfg.FreshReplays {
-		base, err = dimemas.Simulate(cfg.Trace, cfg.Platform, tlOpts)
+		base, err = dimemas.SimulateMachine(cfg.Trace, machine, tlOpts)
 		if err != nil {
 			return nil, fmt.Errorf("powercap: baseline replay: %w", err)
 		}
 	} else {
-		skel, err = cfg.Cache.SkeletonFor(cfg.Trace, cfg.Platform, opts)
+		skel, err = cfg.Cache.SkeletonForMachine(cfg.Trace, machine, opts)
 		if err != nil {
 			return nil, fmt.Errorf("powercap: timing skeleton: %w", err)
 		}
 		// The timeline baseline doubles as the uncapped reference and the
 		// slack-ordering source; through a cache it is shared across every
 		// row of a cap sweep.
-		base, err = cfg.Cache.Original(cfg.Trace, cfg.Platform, tlOpts)
+		base, err = cfg.Cache.OriginalMachine(cfg.Trace, machine, tlOpts)
 		if err != nil {
 			return nil, fmt.Errorf("powercap: baseline replay: %w", err)
 		}
@@ -308,6 +340,7 @@ func run(cfg Config) (*Result, error) {
 	gears := cfg.Set.Gears()
 	s := &scheduler{
 		cfg:      &cfg,
+		machine:  machine,
 		pm:       pm,
 		gears:    gears,
 		pComp:    make([]float64, len(gears)),
@@ -328,6 +361,30 @@ func run(cfg Config) (*Result, error) {
 		s.pComp[gi] = pm.Power(power.Compute, g)
 		s.sd[gi] = timemodel.Slowdown(cfg.Beta, cfg.FMax, g.Freq)
 	}
+	if cap := machine.Cap; cap != nil {
+		if cap.PowerScale != nil {
+			s.pscale = make([]float64, n)
+			for r := range s.pscale {
+				s.pscale[r] = machine.RankPowerScale(r)
+			}
+		}
+		if cap.FMax != nil {
+			// Per-rank gear ceilings: the highest set index whose frequency
+			// stays at or below the rank's silicon limit (at least the
+			// bottom gear, matching dvfs.Set.QuantizeDown).
+			s.maxGi = make([]int, n)
+			for r := range s.maxGi {
+				s.maxGi[r] = len(gears) - 1
+				if f := machine.RankFMax(r, 0); f > 0 {
+					gi := len(gears) - 1
+					for gi > 0 && gears[gi].Freq > f+1e-12 {
+						gi--
+					}
+					s.maxGi[r] = gi
+				}
+			}
+		}
+	}
 
 	// Uncapped reference: every rank at the nominal FMax gear.
 	nominal := dvfs.GearAt(cfg.FMax)
@@ -339,7 +396,7 @@ func run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseProfile, err := power.BuildProfile(pm, base.Timeline, nomGears, base.Time)
+	baseProfile, err := power.BuildProfileScaled(pm, base.Timeline, nomGears, s.pscale, base.Time)
 	if err != nil {
 		return nil, fmt.Errorf("powercap: baseline profile: %w", err)
 	}
@@ -400,7 +457,7 @@ func (s *scheduler) evaluate(idx []int) (time, energy float64, err error) {
 	res := &s.res
 	if s.cfg.FreshReplays {
 		opts := dimemas.Options{Beta: s.cfg.Beta, FMax: s.cfg.FMax, Freqs: s.freqs, Ctx: s.cfg.Ctx}
-		fresh, err := dimemas.Simulate(s.cfg.Trace, s.cfg.Platform, opts)
+		fresh, err := dimemas.SimulateMachine(s.cfg.Trace, s.machine, opts)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -421,6 +478,7 @@ func (s *scheduler) evaluate(idx []int) (time, energy float64, err error) {
 			Gear:        s.gears[gi],
 			ComputeTime: res.Compute[r],
 			CommTime:    res.Time - res.Compute[r],
+			Scale:       s.scaleAt(r),
 		}
 	}
 	e, err := s.pm.Energy(s.usage)
@@ -437,17 +495,42 @@ func (s *scheduler) energyOf(gears []dvfs.Gear, res *dimemas.Result) (float64, e
 			Gear:        gears[r],
 			ComputeTime: res.Compute[r],
 			CommTime:    res.Time - res.Compute[r],
+			Scale:       s.scaleAt(r),
 		}
 	}
 	return s.pm.Energy(s.usage)
 }
 
+// scaleAt returns rank r's power multiplier (1 on homogeneous machines).
+func (s *scheduler) scaleAt(r int) float64 {
+	if s.pscale == nil {
+		return 1
+	}
+	return s.pscale[r]
+}
+
+// topFor returns rank r's highest assignable gear index — the end of the set
+// unless the machine's capability layer caps the rank lower.
+func (s *scheduler) topFor(r int) int {
+	if s.maxGi == nil {
+		return len(s.gears) - 1
+	}
+	return s.maxGi[r]
+}
+
 // peakBound is the all-ranks-computing instantaneous cluster power of a
-// gear-index vector — the quantity a peak cap constrains.
+// gear-index vector — the quantity a peak cap constrains. Heterogeneous
+// ranks contribute their scaled draw.
 func (s *scheduler) peakBound(idx []int) float64 {
 	var sum float64
-	for _, gi := range idx {
-		sum += s.pComp[gi]
+	if s.pscale == nil {
+		for _, gi := range idx {
+			sum += s.pComp[gi]
+		}
+		return sum
+	}
+	for r, gi := range idx {
+		sum += s.pComp[gi] * s.pscale[r]
 	}
 	return sum
 }
@@ -507,14 +590,19 @@ func (s *scheduler) infeasibleErr() error {
 				ErrCapInfeasible, s.cfg.Cap, e/t, n, s.gears[0])
 		}
 	}
-	floor := float64(n) * s.pComp[0]
+	var floor float64
+	for r := 0; r < n; r++ {
+		floor += s.pComp[0] * s.scaleAt(r)
+	}
 	return fmt.Errorf("%w: %s cap %.6g below the all-bottom-gear compute power %.6g (%d ranks at %s)",
 		ErrCapInfeasible, s.cfg.Kind, s.cfg.Cap, floor, n, s.gears[0])
 }
 
 // uniform finds the best single gear level under the cap: lexicographically
 // minimal (time, energy), which is the highest feasible level whenever β > 0
-// and the lowest-energy one among time-ties (e.g. β = 0).
+// and the lowest-energy one among time-ties (e.g. β = 0). On machines with
+// per-rank frequency ceilings the level is clamped to each rank's own top —
+// the best a uniform governor can do on such hardware.
 func (s *scheduler) uniform() (idx []int, time, energy float64, err error) {
 	n := len(s.baseComp)
 	idx = make([]int, n)
@@ -523,6 +611,9 @@ func (s *scheduler) uniform() (idx []int, time, energy float64, err error) {
 	for gi := len(s.gears) - 1; gi >= 0; gi-- {
 		for r := range trial {
 			trial[r] = gi
+			if top := s.topFor(r); gi > top {
+				trial[r] = top
+			}
 		}
 		if s.cfg.Kind == CapPeak && s.peakBound(trial) > s.cfg.Cap {
 			continue
@@ -553,10 +644,9 @@ func (s *scheduler) uniform() (idx []int, time, energy float64, err error) {
 // final vector's exact scores.
 func (s *scheduler) redistribute() (idx []int, time, energy float64, err error) {
 	n := len(s.baseComp)
-	top := len(s.gears) - 1
 	idx = make([]int, n)
 	for r := range idx {
-		idx[r] = top
+		idx[r] = s.topFor(r)
 	}
 
 	// Phase 1 — shed until feasible, slack-richest first.
@@ -659,14 +749,15 @@ func (s *scheduler) redistribute() (idx []int, time, energy float64, err error) 
 }
 
 // criticalRank returns the rank with the longest retimed computation among
-// those not already at the top gear (ties to the lower rank), using the
-// compute times of the last evaluate call; -1 when every rank is at top.
+// those not already at their top gear — the set's top, or the rank's own
+// capability ceiling on heterogeneous machines — (ties to the lower rank),
+// using the compute times of the last evaluate call; -1 when every rank is
+// at its top.
 func (s *scheduler) criticalRank(idx []int) int {
-	top := len(s.gears) - 1
 	best := -1
 	bestComp := math.Inf(-1)
 	for r, gi := range idx {
-		if gi == top {
+		if gi >= s.topFor(r) {
 			continue
 		}
 		if c := s.cur.Compute[r]; c > bestComp {
@@ -692,7 +783,7 @@ func (s *scheduler) finish(policy Policy, idx []int, ref RefStats) (*Schedule, e
 	)
 	if s.cfg.FreshReplays {
 		opts := dimemas.Options{Beta: s.cfg.Beta, FMax: s.cfg.FMax, Freqs: freqs, RecordTimeline: true, Ctx: s.cfg.Ctx}
-		res, err = dimemas.Simulate(s.cfg.Trace, s.cfg.Platform, opts)
+		res, err = dimemas.SimulateMachine(s.cfg.Trace, s.machine, opts)
 	} else {
 		res, err = s.skel.Retime(freqs, true)
 	}
@@ -703,7 +794,7 @@ func (s *scheduler) finish(policy Policy, idx []int, ref RefStats) (*Schedule, e
 	if err != nil {
 		return nil, err
 	}
-	profile, err := power.BuildProfile(s.pm, res.Timeline, gears, res.Time)
+	profile, err := power.BuildProfileScaled(s.pm, res.Timeline, gears, s.pscale, res.Time)
 	if err != nil {
 		return nil, fmt.Errorf("powercap: %s schedule profile: %w", policy, err)
 	}

@@ -277,3 +277,87 @@ func TestContextCancellation(t *testing.T) {
 		t.Errorf("got %v, want context.Canceled", err)
 	}
 }
+
+// heteroMachine builds the capability layer used by the heterogeneity tests:
+// rank 0 draws double power and rank 3's silicon tops out at 1.4 GHz.
+func heteroMachine() *dimemas.Machine {
+	return &dimemas.Machine{Cap: &dimemas.Capability{
+		PowerScale: []float64{2, 1, 1, 1},
+		FMax:       []float64{0, 0, 0, 1.4},
+	}}
+}
+
+func TestHeterogeneousMachineScheduling(t *testing.T) {
+	tr := imbalancedTrace(2)
+	set := sixGears(t)
+	pm, err := power.New(power.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := []float64{2, 1, 1, 1}
+	// 60 % of the machine's scaled all-top compute draw: tight enough to
+	// force scheduling, loose enough to stay feasible.
+	cap := 0.6 * 5 * computePower(t, dvfs.FMax)
+	res, err := Run(Config{Trace: tr, Machine: heteroMachine(), Set: set, Cap: cap, Cache: dimemas.NewReplayCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Schedule{res.Uniform, res.Redistributed} {
+		// Rank 3's gear never exceeds its capability ceiling.
+		if f := sched.Gears[3].Freq; f > 1.4+1e-9 {
+			t.Errorf("%s assigns capped rank 3 %v GHz above its 1.4 GHz ceiling", sched.Policy, f)
+		}
+		// The scaled all-compute bound (what CapPeak constrains) holds.
+		var bound float64
+		for r, g := range sched.Gears {
+			bound += scales[r] * pm.Power(power.Compute, g)
+		}
+		if bound > cap+1e-9 {
+			t.Errorf("%s scaled peak bound %v exceeds cap %v", sched.Policy, bound, cap)
+		}
+		if sched.PeakPower > cap+1e-9 {
+			t.Errorf("%s profile peak %v exceeds cap %v", sched.Policy, sched.PeakPower, cap)
+		}
+	}
+	if res.Redistributed.Time > res.Uniform.Time {
+		t.Errorf("redistributed time %v worse than uniform %v", res.Redistributed.Time, res.Uniform.Time)
+	}
+
+	// The machine path is bit-identical between retimed and fresh replays,
+	// exactly like the flat path.
+	fresh, err := Run(Config{Trace: tr, Machine: heteroMachine(), Set: set, Cap: cap, FreshReplays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct{ a, b Schedule }{
+		{res.Uniform, fresh.Uniform},
+		{res.Redistributed, fresh.Redistributed},
+	} {
+		if pair.a.Time != pair.b.Time || pair.a.Energy != pair.b.Energy {
+			t.Errorf("%s: retimed (%v, %v) != simulated (%v, %v)",
+				pair.a.Policy, pair.a.Time, pair.a.Energy, pair.b.Time, pair.b.Energy)
+		}
+		for r := range pair.a.Gears {
+			if pair.a.Gears[r] != pair.b.Gears[r] {
+				t.Errorf("%s: rank %d gear %v != %v", pair.a.Policy, r, pair.a.Gears[r], pair.b.Gears[r])
+			}
+		}
+	}
+}
+
+// TestHeterogeneousInfeasibilityUsesScaledFloor: a cap between the
+// homogeneous all-bottom floor and the scaled one must be infeasible on the
+// heterogeneous machine while remaining feasible on the flat one.
+func TestHeterogeneousInfeasibilityUsesScaledFloor(t *testing.T) {
+	tr := imbalancedTrace(1)
+	set := sixGears(t)
+	bottom := computePower(t, dvfs.FMin)
+	cap := 4.5 * bottom // flat floor is 4·bottom, scaled floor 5·bottom
+	if _, err := Run(Config{Trace: tr, Set: set, Cap: cap, Cache: dimemas.NewReplayCache()}); err != nil {
+		t.Fatalf("flat machine should fit cap %v: %v", cap, err)
+	}
+	_, err := Run(Config{Trace: tr, Machine: heteroMachine(), Set: set, Cap: cap, Cache: dimemas.NewReplayCache()})
+	if !errors.Is(err, ErrCapInfeasible) {
+		t.Errorf("got %v, want ErrCapInfeasible on the scaled floor", err)
+	}
+}

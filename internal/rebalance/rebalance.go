@@ -104,6 +104,13 @@ type Config struct {
 	Trace *trace.Trace
 	// Platform models the interconnect; zero value means DefaultPlatform.
 	Platform dimemas.Platform
+	// Machine optionally layers topology and per-rank capability on top of
+	// Platform (nil means the flat homogeneous machine; a zero Base inherits
+	// the normalized Platform). The closed loop then replays on the layered
+	// machine, re-solves honor per-rank frequency ceilings, the capped
+	// policy schedules with per-rank power scales, and the energy/peak
+	// accounting multiplies each rank's draw by Capability.PowerScale.
+	Machine *dimemas.Machine
 	// Power configures the CPU power model; zero value means the paper's
 	// baseline.
 	Power power.Config
@@ -311,18 +318,30 @@ func (c *Config) normalize() error {
 
 // loop carries one run's state.
 type loop struct {
-	cfg   *Config
-	pm    *power.Model
-	base  *trace.Trace // the base iteration (iteration 0 of cfg.Trace)
-	skel  *dimemas.Skeleton
-	gears []dvfs.Gear
-	freqs []float64
-	sd    []float64 // per rank: slowdown of the current gear
-	chat  []float64 // per rank: observed compute de-scaled to FMax
-	c0    []float64 // per rank: base-iteration compute at FMax (trace sums)
-	usage []power.Usage
-	dExec dimemas.DeltaState // incremental retiming, executed iteration (non-ExactPeaks)
-	dRef  dimemas.DeltaState // incremental retiming, FMax reference
+	cfg      *Config
+	pm       *power.Model
+	machine  dimemas.Machine
+	base     *trace.Trace // the base iteration (iteration 0 of cfg.Trace)
+	skel     *dimemas.Skeleton
+	gears    []dvfs.Gear
+	freqs    []float64
+	sd       []float64 // per rank: slowdown of the current gear
+	chat     []float64 // per rank: observed compute de-scaled to FMax
+	c0       []float64 // per rank: base-iteration compute at FMax (trace sums)
+	capScale []float64 // per rank: capability stretch baked into replays (nil: nominal)
+	pscale   []float64 // per rank: power multipliers (nil: homogeneous)
+	usage    []power.Usage
+	dExec    dimemas.DeltaState // incremental retiming, executed iteration (non-ExactPeaks)
+	dRef     dimemas.DeltaState // incremental retiming, FMax reference
+}
+
+// pscaleAt returns rank r's power multiplier for Usage rows (0 — the
+// nominal zero value — on homogeneous machines).
+func (l *loop) pscaleAt(r int) float64 {
+	if l.pscale == nil {
+		return 0
+	}
+	return l.pscale[r]
 }
 
 // Run simulates the closed loop and reports the per-iteration series plus
@@ -353,20 +372,38 @@ func run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	n := base.NumRanks()
+	machine := dimemas.FlatMachine(cfg.Platform)
+	if cfg.Machine != nil {
+		machine = *cfg.Machine
+		if machine.Base == (dimemas.Platform{}) {
+			machine.Base = cfg.Platform
+		}
+		if err := machine.ValidateFor(n); err != nil {
+			return nil, stagerr.Wrap(stagerr.Validate, err)
+		}
+	}
 	opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Ctx: cfg.Ctx}
 
 	l := &loop{
-		cfg:   &cfg,
-		pm:    pm,
-		base:  base,
-		freqs: make([]float64, n),
-		sd:    make([]float64, n),
-		chat:  make([]float64, n),
-		c0:    base.ComputeTimes(),
-		usage: make([]power.Usage, n),
+		cfg:      &cfg,
+		pm:       pm,
+		machine:  machine,
+		base:     base,
+		freqs:    make([]float64, n),
+		sd:       make([]float64, n),
+		chat:     make([]float64, n),
+		c0:       base.ComputeTimes(),
+		capScale: machine.ScaleVector(),
+		usage:    make([]power.Usage, n),
+	}
+	if machine.Cap != nil && machine.Cap.PowerScale != nil {
+		l.pscale = make([]float64, n)
+		for r := range l.pscale {
+			l.pscale[r] = machine.RankPowerScale(r)
+		}
 	}
 	if !cfg.FreshReplays {
-		l.skel, err = cfg.Cache.SkeletonForSlice(cfg.Trace, 0, base, cfg.Platform, opts)
+		l.skel, err = cfg.Cache.SkeletonForSliceMachine(cfg.Trace, 0, base, machine, opts)
 		if err != nil {
 			return nil, fmt.Errorf("rebalance: base-iteration skeleton: %w", err)
 		}
@@ -543,13 +580,13 @@ func (l *loop) replay(scale []float64) (exec, ref *dimemas.Result, err error) {
 	if cfg.FreshReplays {
 		drifted := l.base.ScaleCompute(func(r int, _ trace.Record) float64 { return scale[r] })
 		opts := dimemas.Options{Beta: cfg.Beta, FMax: cfg.FMax, Freqs: l.freqs, RecordTimeline: cfg.ExactPeaks, Ctx: cfg.Ctx}
-		exec, err = dimemas.Simulate(drifted, cfg.Platform, opts)
+		exec, err = dimemas.SimulateMachine(drifted, l.machine, opts)
 		if err != nil {
 			return nil, nil, err
 		}
 		opts.Freqs = nil
 		opts.RecordTimeline = false
-		ref, err = dimemas.Simulate(drifted, cfg.Platform, opts)
+		ref, err = dimemas.SimulateMachine(drifted, l.machine, opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -592,7 +629,11 @@ func (l *loop) solve() ([]dvfs.Gear, error) {
 	if cfg.Policy == PolicyCapped {
 		return l.solveCapped()
 	}
-	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Margin: cfg.Margin}
+	var fmaxes []float64
+	if l.machine.Cap != nil {
+		fmaxes = l.machine.Cap.FMax
+	}
+	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Margin: cfg.Margin, FMaxes: fmaxes}
 	a, err := balancer.Assign(cfg.Algorithm, l.chat)
 	if err != nil {
 		return nil, err
@@ -602,18 +643,26 @@ func (l *loop) solve() ([]dvfs.Gear, error) {
 
 // solveCapped delegates to the power-cap scheduler: the observed loads are
 // written onto the base iteration's structure and redistributed under the
-// peak budget.
+// peak budget. The observed times carry the machine's capability stretch
+// (it is baked into every replay), and the scheduler re-applies that
+// stretch on its own machine replay — so the per-rank factor divides it
+// back out, leaving only the genuine drift.
 func (l *loop) solveCapped() ([]dvfs.Gear, error) {
 	cfg := l.cfg
 	obs := l.base.ScaleCompute(func(r int, _ trace.Record) float64 {
 		if l.c0[r] <= 0 {
 			return 1 // idle rank: nothing to scale
 		}
-		return l.chat[r] / l.c0[r]
+		f := l.chat[r] / l.c0[r]
+		if l.capScale != nil {
+			f /= l.capScale[r]
+		}
+		return f
 	})
 	res, err := powercap.Run(powercap.Config{
 		Trace:    obs,
 		Platform: cfg.Platform,
+		Machine:  cfg.Machine,
 		Power:    cfg.Power,
 		Set:      cfg.Set,
 		Cap:      cfg.Cap,
@@ -631,21 +680,56 @@ func (l *loop) solveCapped() ([]dvfs.Gear, error) {
 
 // cappedColdStart parks every rank on the highest uniform gear whose
 // all-compute peak fits the budget — what a cluster governor without
-// application knowledge does before the first observation.
+// application knowledge does before the first observation. On
+// heterogeneous machines the level is clamped to each rank's capability
+// ceiling and the peak sums scaled per-rank draws.
 func (l *loop) cappedColdStart() error {
 	cfg := l.cfg
 	gears := cfg.Set.Gears()
 	n := len(l.gears)
+	ceil := make([]int, n)
+	for r := range ceil {
+		ceil[r] = len(gears) - 1
+		if f := l.machine.RankFMax(r, 0); f > 0 {
+			gi := len(gears) - 1
+			for gi > 0 && gears[gi].Freq > f+1e-12 {
+				gi--
+			}
+			ceil[r] = gi
+		}
+	}
+	scale := func(r int) float64 {
+		if l.pscale == nil {
+			return 1
+		}
+		return l.pscale[r]
+	}
 	for gi := len(gears) - 1; gi >= 0; gi-- {
-		if float64(n)*l.pm.Power(power.Compute, gears[gi]) <= cfg.Cap {
+		var peak float64
+		for r := 0; r < n; r++ {
+			g := gi
+			if ceil[r] < g {
+				g = ceil[r]
+			}
+			peak += scale(r) * l.pm.Power(power.Compute, gears[g])
+		}
+		if peak <= cfg.Cap {
 			for r := range l.gears {
-				l.gears[r] = gears[gi]
+				g := gi
+				if ceil[r] < g {
+					g = ceil[r]
+				}
+				l.gears[r] = gears[g]
 			}
 			return nil
 		}
 	}
+	var floor float64
+	for r := 0; r < n; r++ {
+		floor += scale(r) * l.pm.Power(power.Compute, gears[0])
+	}
 	return fmt.Errorf("%w: peak cap %.6g below the all-bottom-gear compute power %.6g (%d ranks at %s)",
-		powercap.ErrCapInfeasible, cfg.Cap, float64(n)*l.pm.Power(power.Compute, gears[0]), n, gears[0])
+		powercap.ErrCapInfeasible, cfg.Cap, floor, n, gears[0])
 }
 
 // energyOf accounts the CPU energy of one executed iteration at explicit
@@ -656,6 +740,7 @@ func (l *loop) energyOf(res *dimemas.Result, gears []dvfs.Gear) (float64, error)
 			Gear:        gears[r],
 			ComputeTime: res.Compute[r],
 			CommTime:    res.Comm(r),
+			Scale:       l.pscaleAt(r),
 		}
 	}
 	b, err := l.pm.EnergyBreakdown(l.usage)
@@ -670,15 +755,21 @@ func (l *loop) energyOf(res *dimemas.Result, gears []dvfs.Gear) (float64, error)
 // otherwise.
 func (l *loop) peakOf(exec *dimemas.Result) (float64, error) {
 	if l.cfg.ExactPeaks {
-		profile, err := power.BuildProfile(l.pm, exec.Timeline, l.gears, exec.Time)
+		profile, err := power.BuildProfileScaled(l.pm, exec.Timeline, l.gears, l.pscale, exec.Time)
 		if err != nil {
 			return 0, err
 		}
 		return profile.Peak(), nil
 	}
 	var sum float64
-	for _, g := range l.gears {
-		sum += l.pm.Power(power.Compute, g)
+	if l.pscale == nil {
+		for _, g := range l.gears {
+			sum += l.pm.Power(power.Compute, g)
+		}
+		return sum, nil
+	}
+	for r, g := range l.gears {
+		sum += l.pscale[r] * l.pm.Power(power.Compute, g)
 	}
 	return sum, nil
 }

@@ -34,16 +34,20 @@ func (s *Server) cacheFor(local func() *dimemas.ReplayCache, specs ...TraceSpec)
 	return s.cache
 }
 
-// HealthBody is the GET /healthz response.
+// HealthBody is the GET /healthz response. Platform echoes the flat machine
+// constants the instance serves by default, so a fleet rollout of new link
+// parameters is verifiable from the health check.
 type HealthBody struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Platform      PlatformBody `json:"platform"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthBody{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.reg.start).Seconds(),
+		Platform:      NewPlatformBody(s.platform),
 	})
 }
 
@@ -78,12 +82,18 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			}
 			opts.Freqs = req.Freqs
 		}
+		machine, err := req.Platform.machineFor(s.platform, tr.NumRanks())
+		if err != nil {
+			return nil, err
+		}
 		// Replay retimes explicit gear vectors off the memoized timing
 		// skeleton (bit-identical to a fresh simulation) and memoizes the
 		// baseline otherwise; a one-shot inline trace bypasses the cache
-		// (nil degrades to a plain Simulate).
+		// (nil degrades to a plain Simulate). The cache key carries the
+		// machine fingerprint, so per-request platform overrides never
+		// collide with the default-machine entries.
 		res, err := span(s, stagerr.Retime, func() (*dimemas.Result, error) {
-			return s.cacheFor(nil, req.Trace).Replay(tr, s.platform, opts)
+			return s.cacheFor(nil, req.Trace).ReplayMachine(tr, machine, opts)
 		})
 		if err != nil {
 			return nil, err
@@ -121,10 +131,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		platform, machine, err := req.Platform.resolve(s.platform, tr.NumRanks())
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Optimize, func() (*analysis.Result, error) {
 			return analysis.Run(analysis.Config{
 				Trace:     tr,
-				Platform:  s.platform,
+				Platform:  platform,
+				Machine:   machine,
 				Power:     s.power,
 				Set:       set,
 				Algorithm: algo,
@@ -174,6 +189,10 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		platform, machine, err := req.Platform.resolve(s.platform, tr.NumRanks())
+		if err != nil {
+			return nil, err
+		}
 		// Wire-level item parsing. Failures stay per-item; the survivors go
 		// to RunBatch with their request indices remembered.
 		itemErrs := make([]error, len(req.Items))
@@ -205,7 +224,8 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 			bo, err := span(s, stagerr.Optimize, func() (batchOut, error) {
 				results, errs, err := analysis.RunBatch(analysis.Config{
 					Trace:    tr,
-					Platform: s.platform,
+					Platform: platform,
+					Machine:  machine,
 					Power:    s.power,
 					Beta:     beta,
 					BetaSet:  betaSet,
@@ -280,11 +300,16 @@ func (s *Server) handleGearOpt(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		platform, machine, err := req.Platform.resolve(s.platform, traces[0].NumRanks())
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Optimize, func() (*gearopt.Result, error) {
 			return gearopt.Optimize(gearopt.Config{
 				Traces:    traces,
 				NGears:    ngears,
-				Platform:  s.platform,
+				Platform:  platform,
+				Machine:   machine,
 				Power:     s.power,
 				Beta:      beta,
 				BetaSet:   betaSet,
@@ -341,10 +366,15 @@ func (s *Server) handlePowercap(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		platform, machine, err := req.Platform.resolve(s.platform, tr.NumRanks())
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Powercap, func() (*powercap.Result, error) {
 			return powercap.Run(powercap.Config{
 				Trace:    tr,
-				Platform: s.platform,
+				Platform: platform,
+				Machine:  machine,
 				Power:    s.power,
 				Set:      set,
 				Cap:      req.Cap,
@@ -415,10 +445,15 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		platform, machine, err := req.Platform.resolve(s.platform, tr.NumRanks())
+		if err != nil {
+			return nil, err
+		}
 		res, err := span(s, stagerr.Rebalance, func() (*rebalance.Result, error) {
 			return rebalance.Run(rebalance.Config{
 				Trace:            tr,
-				Platform:         s.platform,
+				Platform:         platform,
+				Machine:          machine,
 				Power:            s.power,
 				Set:              set,
 				Algorithm:        algo,

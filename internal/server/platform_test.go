@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dimemas"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/timemodel"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// TestPlatformSpecFixtureDecodes pins the PlatformSpec wire format: this is
+// a verbatim request body; every JSON key in it is part of the public API.
+func TestPlatformSpecFixtureDecodes(t *testing.T) {
+	var req AnalyzeRequest
+	decodeFixture(t, `{
+		"trace": {"app": "IS-32"},
+		"gear_set": {"kind": "uniform"},
+		"platform": {
+			"latency": 2e-6,
+			"bandwidth": 1e9,
+			"eager_limit": 16384,
+			"overhead": 5e-7,
+			"topology": {
+				"per_node": 8,
+				"node_switch": [0, 0, 1, 1],
+				"intra": {"latency": 5e-7, "bandwidth": 6e9},
+				"inter": {"latency": 2e-6, "bandwidth": 1e9},
+				"remote": {"latency": 1e-5, "bandwidth": 2e8}
+			},
+			"capability": {
+				"efficiency": [1, 1.5],
+				"fmax": [2.3, 1.4],
+				"power_scale": [1, 2]
+			}
+		}
+	}`, &req)
+	eager := int64(16384)
+	want := AnalyzeRequest{
+		Trace:   TraceRef{App: "IS-32"},
+		GearSet: GearSetSpec{Kind: "uniform"},
+		Platform: &PlatformSpec{
+			Latency:    f64(2e-6),
+			Bandwidth:  f64(1e9),
+			EagerLimit: &eager,
+			Overhead:   f64(5e-7),
+			Topology: &TopologySpec{
+				PerNode:    8,
+				NodeSwitch: []int{0, 0, 1, 1},
+				Intra:      LinkSpec{Latency: 5e-7, Bandwidth: 6e9},
+				Inter:      LinkSpec{Latency: 2e-6, Bandwidth: 1e9},
+				Remote:     &LinkSpec{Latency: 1e-5, Bandwidth: 2e8},
+			},
+			Capability: &CapabilitySpec{
+				Efficiency: []float64{1, 1.5},
+				FMax:       []float64{2.3, 1.4},
+				PowerScale: []float64{1, 2},
+			},
+		},
+	}
+	if !reflect.DeepEqual(req, want) {
+		t.Errorf("decoded %+v, want %+v", req, want)
+	}
+}
+
+// testMachineSpec is the heterogeneous request-platform most tests here use:
+// a two-level topology over the default link constants plus a capability
+// gradient, for the 32-rank quick IS workload.
+func testMachineSpec(nranks int) *PlatformSpec {
+	eff := make([]float64, nranks)
+	pscale := make([]float64, nranks)
+	for r := range eff {
+		eff[r] = 1
+		pscale[r] = 1
+	}
+	for r := 0; r < nranks/2; r++ {
+		eff[r] = 1.3
+		pscale[r] = 1.4
+	}
+	return &PlatformSpec{
+		Topology: &TopologySpec{
+			PerNode: 8,
+			Intra:   LinkSpec{Latency: 5e-7, Bandwidth: 6e9},
+			Inter:   LinkSpec{Latency: 2e-5, Bandwidth: 1e8},
+		},
+		Capability: &CapabilitySpec{Efficiency: eff, PowerScale: pscale},
+	}
+}
+
+// libraryMachine mirrors testMachineSpec resolved against the default
+// platform, for byte-identity comparisons with direct library calls.
+func libraryMachine(nranks int) *dimemas.Machine {
+	spec := testMachineSpec(nranks)
+	return &dimemas.Machine{
+		Base: dimemas.DefaultPlatform(),
+		Topo: &dimemas.Topology{
+			Placement: dimemas.BlockPlacement(nranks, spec.Topology.PerNode),
+			Intra:     dimemas.Link{Latency: 5e-7, Bandwidth: 6e9},
+			Inter:     dimemas.Link{Latency: 2e-5, Bandwidth: 1e8},
+		},
+		Cap: &dimemas.Capability{
+			Efficiency: spec.Capability.Efficiency,
+			PowerScale: spec.Capability.PowerScale,
+		},
+	}
+}
+
+func TestReplayHeterogeneousByteIdenticalToLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := genTestTrace(t, testSpec)
+	spec := testMachineSpec(tr.NumRanks())
+
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Platform: spec})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	res, err := dimemas.SimulateMachine(tr, *libraryMachine(tr.NumRanks()),
+		dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewReplayResponse(tr.App, res)); !bytes.Equal(got, want) {
+		t.Fatalf("hetero replay differs from library call\n got: %s\nwant: %s", got, want)
+	}
+
+	// The layered machine must actually change the outcome, or the whole
+	// fingerprinted-key machinery is untested.
+	flat, err := dimemas.Simulate(tr, dimemas.DefaultPlatform(),
+		dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Time == res.Time {
+		t.Fatalf("layered machine did not change the replay time (%v)", flat.Time)
+	}
+}
+
+func TestAnalyzeHeterogeneousByteIdenticalToLibrary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := genTestTrace(t, testSpec)
+	spec := testMachineSpec(tr.NumRanks())
+
+	code, got := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Trace:    testSpec,
+		GearSet:  GearSetSpec{Kind: "uniform"},
+		Platform: spec,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	set, err := dvfs.Uniform(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run(analysis.Config{
+		Trace:    tr,
+		Platform: dimemas.DefaultPlatform(),
+		Machine:  libraryMachine(tr.NumRanks()),
+		Power:    power.DefaultConfig(),
+		Set:      set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewAnalyzeResponse(set.Name(), res)); !bytes.Equal(got, want) {
+		t.Fatalf("hetero analyze differs from library call\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestScalarPlatformOverride proves the scalar-only path: no layered
+// machine, just different flat constants, byte-identical to the library on
+// the overridden platform.
+func TestScalarPlatformOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := genTestTrace(t, testSpec)
+
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{
+		Trace:    testSpec,
+		Platform: &PlatformSpec{Bandwidth: f64(50e6), Latency: f64(2e-5)},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	p := dimemas.DefaultPlatform()
+	p.Bandwidth = 50e6
+	p.Latency = 2e-5
+	res, err := dimemas.Simulate(tr, p, dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewReplayResponse(tr.App, res)); !bytes.Equal(got, want) {
+		t.Fatalf("scalar-override replay differs from library call\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestPlatformSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		spec *PlatformSpec
+	}{
+		{"negative latency", &PlatformSpec{Latency: f64(-1)}},
+		{"zero bandwidth", &PlatformSpec{Bandwidth: f64(0)}},
+		{"placement and per_node", &PlatformSpec{Topology: &TopologySpec{
+			Placement: []int{0, 0}, PerNode: 2,
+			Intra: LinkSpec{Bandwidth: 1e9}, Inter: LinkSpec{Bandwidth: 1e8},
+		}}},
+		{"negative per_node", &PlatformSpec{Topology: &TopologySpec{
+			PerNode: -4,
+			Intra:   LinkSpec{Bandwidth: 1e9}, Inter: LinkSpec{Bandwidth: 1e8},
+		}}},
+		{"node_switch without remote", &PlatformSpec{Topology: &TopologySpec{
+			PerNode: 8, NodeSwitch: []int{0, 0, 1, 1},
+			Intra: LinkSpec{Bandwidth: 1e9}, Inter: LinkSpec{Bandwidth: 1e8},
+		}}},
+		{"zero intra bandwidth", &PlatformSpec{Topology: &TopologySpec{
+			PerNode: 8, Inter: LinkSpec{Bandwidth: 1e8},
+		}}},
+		{"short efficiency vector", &PlatformSpec{Capability: &CapabilitySpec{
+			Efficiency: []float64{1, 1.5},
+		}}},
+		{"zero efficiency", &PlatformSpec{Capability: &CapabilitySpec{
+			Efficiency: zeros(32),
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec, Platform: tc.spec})
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", code, body)
+			}
+			var eb ErrorBody
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatal(err)
+			}
+			if eb.Stage != "validate" {
+				t.Errorf("stage %q, want validate (%s)", eb.Stage, eb.Error)
+			}
+		})
+	}
+}
+
+func zeros(n int) []float64 { return make([]float64, n) }
+
+// TestHealthzEchoesPlatform proves a non-default daemon platform is visible
+// from the health check and used by simulations.
+func TestHealthzEchoesPlatform(t *testing.T) {
+	p := dimemas.DefaultPlatform()
+	p.Bandwidth = 125e6
+	_, ts := newTestServer(t, Config{Platform: p})
+
+	code, body := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var hb HealthBody
+	if err := json.Unmarshal(body, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Platform != NewPlatformBody(p) {
+		t.Errorf("healthz echoed %+v, want %+v", hb.Platform, NewPlatformBody(p))
+	}
+	if !strings.Contains(string(body), `"bandwidth":125000000`) {
+		t.Errorf("healthz body missing bandwidth echo: %s", body)
+	}
+
+	// The configured platform is what default-platform requests run on.
+	tr := genTestTrace(t, testSpec)
+	code, got := postJSON(t, ts.URL+"/v1/replay", ReplayRequest{Trace: testSpec})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	res, err := dimemas.Simulate(tr, p, dimemas.Options{Beta: timemodel.DefaultBeta, FMax: dvfs.FMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wire(t, NewReplayResponse(tr.App, res)); !bytes.Equal(got, want) {
+		t.Fatalf("configured-platform replay differs from library call\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -70,6 +70,10 @@ type Config struct {
 	// checks can route around the instance before connections are refused.
 	// Default 0: drain immediately.
 	DrainGrace time.Duration
+	// Platform is the flat machine model requests run on unless they carry
+	// their own PlatformSpec. The zero value means DefaultPlatform; echoed
+	// in /healthz.
+	Platform dimemas.Platform
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Platform == (dimemas.Platform{}) {
+		c.Platform = dimemas.DefaultPlatform()
 	}
 	return c
 }
@@ -149,7 +156,7 @@ func New(cfg Config) *Server {
 		reg:      newRegistry(),
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
-		platform: dimemas.DefaultPlatform(),
+		platform: cfg.Platform,
 		power:    power.DefaultConfig(),
 		traces:   make(map[traceKey]*list.Element),
 		tlru:     list.New(),

@@ -244,6 +244,9 @@ type ReplayRequest struct {
 	// Freqs is the per-rank frequency (GHz); empty means every rank at FMax
 	// (the memoized baseline replay).
 	Freqs []float64 `json:"freqs,omitempty"`
+	// Platform optionally overrides the daemon's machine model for this
+	// request (flat scalars, topology, per-rank capability).
+	Platform *PlatformSpec `json:"platform,omitempty"`
 	GearSpec
 }
 
@@ -275,6 +278,9 @@ type AnalyzeRequest struct {
 	// Algorithm selects the balancing policy: "MAX" (default) or "AVG".
 	Algorithm string      `json:"algorithm,omitempty"`
 	GearSet   GearSetSpec `json:"gear_set"`
+	// Platform optionally overrides the daemon's machine model for this
+	// request.
+	Platform *PlatformSpec `json:"platform,omitempty"`
 	GearSpec
 }
 
@@ -351,6 +357,9 @@ type AnalyzeBatchItem struct {
 type AnalyzeBatchRequest struct {
 	Trace TraceRef           `json:"trace"`
 	Items []AnalyzeBatchItem `json:"items"`
+	// Platform optionally overrides the daemon's machine model, shared by
+	// every item (it parameterizes the skeleton the batch retimes).
+	Platform *PlatformSpec `json:"platform,omitempty"`
 	// The embedded β and FMax are shared by every item (they parameterize
 	// the skeleton the batch retimes).
 	GearSpec
@@ -386,6 +395,9 @@ type GearOptRequest struct {
 	Grid float64 `json:"grid,omitempty"`
 	// MaxRounds bounds the coordinate-descent rounds (default 8).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Platform optionally overrides the daemon's machine model for the
+	// search (every trace is scored on the same machine).
+	Platform *PlatformSpec `json:"platform,omitempty"`
 	GearSpec
 }
 
@@ -475,6 +487,9 @@ type PowercapRequest struct {
 	Kind string `json:"kind,omitempty"`
 	// MaxMoves bounds the redistribution refinement loop (default 4×ranks).
 	MaxMoves int `json:"max_moves,omitempty"`
+	// Platform optionally overrides the daemon's machine model for this
+	// request (per-rank power scales tighten the cap feasibility check).
+	Platform *PlatformSpec `json:"platform,omitempty"`
 	GearSpec
 }
 
@@ -610,6 +625,9 @@ type RebalanceRequest struct {
 	ExactPeaks bool `json:"exact_peaks,omitempty"`
 	// Drift describes how per-rank load evolves between iterations.
 	Drift DriftSpec `json:"drift,omitempty"`
+	// Platform optionally overrides the daemon's machine model for the
+	// whole closed loop.
+	Platform *PlatformSpec `json:"platform,omitempty"`
 	GearSpec
 }
 
