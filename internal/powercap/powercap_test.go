@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/dimemas"
@@ -359,5 +360,25 @@ func TestHeterogeneousInfeasibilityUsesScaledFloor(t *testing.T) {
 	_, err := Run(Config{Trace: tr, Machine: heteroMachine(), Set: set, Cap: cap, Cache: dimemas.NewReplayCache()})
 	if !errors.Is(err, ErrCapInfeasible) {
 		t.Errorf("got %v, want ErrCapInfeasible on the scaled floor", err)
+	}
+}
+
+// TestCapKindNames pins the wire names over the count-derived range: every
+// valid kind must have a real name (not the fallback formatting), so a kind
+// added above capKindCount cannot ship nameless.
+func TestCapKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := CapPeak; k <= maxCapKind; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "CapKind(") {
+			t.Fatalf("cap kind %d has no wire name", int(k))
+		}
+		if seen[s] {
+			t.Fatalf("duplicate wire name %q", s)
+		}
+		seen[s] = true
+	}
+	if s := CapKind(capKindCount).String(); !strings.HasPrefix(s, "CapKind(") {
+		t.Errorf("out-of-range kind stringified as %q, want the CapKind(n) fallback", s)
 	}
 }

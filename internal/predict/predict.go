@@ -1,0 +1,435 @@
+// Package predict fits per-rank load forecasters over observed iteration
+// timings, the anticipation layer of the online rebalancing loop
+// (internal/rebalance). The reactive policies wait for imbalance to
+// materialize before re-solving gears — by the time the trigger fires, k
+// drifted iterations have already run unbalanced. A Forecaster instead
+// extrapolates each rank's observed, gear-de-scaled computation load one
+// iteration ahead, so the controller can re-solve against where the load is
+// *going* and land the new assignment on the iteration the drift arrives.
+//
+// Two models are provided:
+//
+//   - KindEWMA — an exponentially weighted moving level per rank
+//     (s += α·(x−s)); forecasts flat, filtering transient jitter.
+//   - KindLinear — a least-squares line over the last Window observations
+//     per rank; forecasts the trend, the right model for progressive drift.
+//
+// Both are exactly identity on a constant series: the EWMA update adds
+// α·(x−s) = 0 and the linear fit computes its slope and intercept from
+// deviations against the latest observation, so a drift-free load vector
+// forecasts to itself bit for bit, keeping drift-free closed loops
+// bit-identical to their reactive counterparts.
+//
+// Forecast skill is tracked continuously: every Observe scores the previous
+// one-step model forecast and the naive last-observation forecast against
+// the actual outcome over a rolling window. When the model stops beating
+// persistence (an unforecastable series — a random walk is a martingale,
+// whose optimal predictor *is* the last observation), Forecast falls back to
+// the last observation rather than extrapolating noise. The controller can
+// observe the fallback state and degrade to reactive triggering.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind selects the forecasting model.
+type Kind int
+
+const (
+	// KindEWMA forecasts each rank's load as an exponentially weighted
+	// moving average of its observations — flat, jitter-filtering.
+	KindEWMA Kind = iota
+	// KindLinear forecasts each rank's load by extrapolating a
+	// least-squares line over the last Window observations — trend-aware.
+	KindLinear
+
+	// kindCount counts the variants; new kinds must be added above it so
+	// the parse and validation ranges extend automatically.
+	kindCount
+	// maxKind is the last valid Kind.
+	maxKind = kindCount - 1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEWMA:
+		return "ewma"
+	case KindLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind is the inverse of Kind.String (for wire and CLI use).
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(0); k <= maxKind; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("predict: unknown forecaster kind %q (want %s)", s, kindNames())
+}
+
+func kindNames() string {
+	out := ""
+	for k := Kind(0); k <= maxKind; k++ {
+		switch {
+		case k == 0:
+		case k == maxKind:
+			out += " or "
+		default:
+			out += ", "
+		}
+		out += k.String()
+	}
+	return out
+}
+
+// Config parameterizes a Forecaster. The zero value selects the linear
+// model with the default window — but note KindEWMA is the zero Kind, so a
+// zero Config means EWMA; use DefaultConfig for the recommended setup.
+type Config struct {
+	// Kind selects the model (default KindEWMA — the zero value).
+	Kind Kind
+	// Window is the number of recent observations the linear fit and the
+	// skill tracker look at (default 8, minimum 2).
+	Window int
+	// Alpha is the EWMA smoothing factor in (0, 1]; 0 selects 2/(Window+1),
+	// the span-equivalent smoothing of the window.
+	Alpha float64
+	// Guard is the fallback threshold: Forecast returns the last
+	// observation instead of the model forecast while the model's rolling
+	// one-step error exceeds Guard × the naive last-observation error.
+	// 0 selects 1.0 (fall back as soon as the model stops beating
+	// persistence); negative disables the guard entirely.
+	Guard float64
+}
+
+// DefaultConfig returns the recommended forecaster setup: the trend-aware
+// linear model over an 8-observation window with the skill guard armed.
+func DefaultConfig() Config {
+	return Config{Kind: KindLinear, Window: 8, Alpha: 0, Guard: 1}
+}
+
+func (c *Config) normalize() error {
+	if c.Kind < 0 || c.Kind > maxKind {
+		return fmt.Errorf("predict: unknown forecaster kind %d", int(c.Kind))
+	}
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.Window < 2 {
+		return fmt.Errorf("predict: window must be at least 2, got %d", c.Window)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 2 / float64(c.Window+1)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("predict: alpha %v outside (0, 1]", c.Alpha)
+	}
+	if c.Guard == 0 {
+		c.Guard = 1
+	}
+	if math.IsNaN(c.Guard) || math.IsInf(c.Guard, 0) {
+		return fmt.Errorf("predict: guard must be finite, got %v", c.Guard)
+	}
+	return nil
+}
+
+// breakFactor is the structural-break detector's sensitivity: when one
+// step's naive forecast error exceeds breakFactor × the rolling mean naive
+// step error, the series has jumped to a new regime (a load step, a phase
+// change) and the fit history is reset to the new observation — a linear
+// fit across the discontinuity would extrapolate a steep spurious trend far
+// past the actual new level.
+const breakFactor = 4.0
+
+// Stats summarizes a forecaster's tracked skill.
+type Stats struct {
+	// Observations counts Observe calls.
+	Observations int
+	// Fallbacks counts Forecast calls answered with the last observation
+	// because the guard was active (warm-up or poor model skill).
+	Fallbacks int
+	// Breaks counts structural-break resets: steps whose naive forecast
+	// error exceeded breakFactor × the rolling mean, restarting the fit
+	// from the new regime.
+	Breaks int
+	// ModelErr and NaiveErr are the rolling window sums of one-step
+	// absolute forecast error (summed over ranks) of the model and of the
+	// naive last-observation predictor. ModelErr ≤ Guard·NaiveErr means the
+	// model is trusted.
+	ModelErr, NaiveErr float64
+}
+
+// ErrRankMismatch reports an observation of the wrong width.
+var ErrRankMismatch = errors.New("predict: observation width does not match the forecaster's rank count")
+
+// Forecaster tracks one load series per rank and forecasts each one
+// iteration ahead. Not safe for concurrent use.
+type Forecaster struct {
+	cfg    Config
+	n      int
+	count  int // observations seen
+	fitLen int // observations in the current fit segment (≤ count; reset on breaks)
+	breaks int
+
+	level []float64 // EWMA level per rank
+	hist  []float64 // ring buffer, Window rows of n: observation history
+	last  []float64 // latest observation
+	pred  []float64 // model one-step forecast made after the latest Observe
+
+	// Rolling skill window: per-step absolute error sums (over ranks) of
+	// the model and the naive predictor, with running totals.
+	modelStep, naiveStep []float64
+	modelSum, naiveSum   float64
+	steps                int // scored steps (Observe calls after the first)
+
+	fallbacks int
+}
+
+// New builds a forecaster for n ranks.
+func New(n int, cfg Config) (*Forecaster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("predict: forecaster needs a positive rank count, got %d", n)
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &Forecaster{
+		cfg:       cfg,
+		n:         n,
+		level:     make([]float64, n),
+		hist:      make([]float64, cfg.Window*n),
+		last:      make([]float64, n),
+		pred:      make([]float64, n),
+		modelStep: make([]float64, cfg.Window),
+		naiveStep: make([]float64, cfg.Window),
+	}, nil
+}
+
+// Observe feeds one iteration's per-rank loads (non-negative, gear-de-scaled
+// computation times). It first scores the previous forecast against x, then
+// updates the model and prepares the next one-step forecast.
+func (f *Forecaster) Observe(x []float64) error {
+	if len(x) != f.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrRankMismatch, len(x), f.n)
+	}
+	broke := false
+	if f.count > 0 {
+		// Score the forecast made after the previous observation, and the
+		// naive persistence forecast, on the outcome that just arrived.
+		var me, ne float64
+		for r, v := range x {
+			me += math.Abs(f.pred[r] - v)
+			ne += math.Abs(f.last[r] - v)
+		}
+		// A step far outside the series' typical variation is a regime
+		// change, not noise: restart the fit from the new level rather
+		// than extrapolating a line across the discontinuity.
+		if f.steps >= f.cfg.Window && ne > breakFactor*f.naiveSum/float64(f.cfg.Window) {
+			broke = true
+		}
+		slot := f.steps % f.cfg.Window
+		f.modelSum += me - f.modelStep[slot]
+		f.naiveSum += ne - f.naiveStep[slot]
+		f.modelStep[slot] = me
+		f.naiveStep[slot] = ne
+		f.steps++
+	}
+
+	// Update the model.
+	row := (f.count % f.cfg.Window) * f.n
+	copy(f.hist[row:row+f.n], x)
+	if f.count == 0 || broke {
+		copy(f.level, x)
+	} else {
+		for r, v := range x {
+			f.level[r] += f.cfg.Alpha * (v - f.level[r])
+		}
+	}
+	copy(f.last, x)
+	f.count++
+	if broke {
+		f.fitLen = 1
+		f.breaks++
+	} else {
+		f.fitLen++
+	}
+	f.forecastInto(1, f.pred)
+	return nil
+}
+
+// forecastInto computes the raw model forecast (no guard) for h iterations
+// after the latest observation.
+func (f *Forecaster) forecastInto(h int, out []float64) {
+	switch f.cfg.Kind {
+	case KindEWMA:
+		copy(out, f.level)
+	default: // KindLinear
+		f.linearInto(h, out)
+	}
+	// Loads are non-negative; a steep downward trend must not extrapolate
+	// below zero.
+	for r, v := range out {
+		if v < 0 {
+			out[r] = 0
+		}
+	}
+}
+
+// linearInto extrapolates the least-squares line over the last m =
+// min(fitLen, Window) observations h steps past the latest one. All sums are
+// computed on deviations from the latest observation, so a constant series
+// yields slope and mean deviation exactly 0 and the forecast is exactly the
+// last observation.
+func (f *Forecaster) linearInto(h int, out []float64) {
+	m := f.fitLen
+	if m > f.cfg.Window {
+		m = f.cfg.Window
+	}
+	if m < 2 {
+		copy(out, f.last)
+		return
+	}
+	// Observation i (0 = oldest of the window) lives at ring row
+	// (count-m+i) % Window. t̄ = (m−1)/2; Σ(t−t̄)² = m(m²−1)/12.
+	tbar := float64(m-1) / 2
+	denom := float64(m) * float64(m*m-1) / 12
+	for r := 0; r < f.n; r++ {
+		ref := f.last[r]
+		var num, dev float64
+		for i := 0; i < m; i++ {
+			y := f.hist[((f.count-m+i)%f.cfg.Window)*f.n+r] - ref
+			num += (float64(i) - tbar) * y
+			dev += y
+		}
+		slope := num / denom
+		// ŷ(m−1+h) = ȳ + slope·(m−1+h − t̄), with ȳ = ref + dev/m.
+		out[r] = ref + dev/float64(m) + slope*(float64(m-1+h)-tbar)
+	}
+}
+
+// FallingBack reports whether Forecast currently answers with the last
+// observation instead of the model: during warm-up (fewer than Window scored
+// steps) and whenever the model's rolling one-step error exceeds
+// Guard × the naive predictor's. Controllers use this to degrade to
+// reactive triggering on unforecastable series.
+func (f *Forecaster) FallingBack() bool {
+	if f.cfg.Guard < 0 {
+		return false
+	}
+	if f.steps < f.cfg.Window {
+		return true
+	}
+	return f.modelSum > f.cfg.Guard*f.naiveSum
+}
+
+// Forecast writes the one-iteration-ahead per-rank load forecast into out
+// (allocating when nil) and returns it. With the guard active it returns the
+// last observation — the martingale-optimal choice when the model has no
+// demonstrated skill. Forecast does not mutate the model; calling it
+// repeatedly returns the same values (only the fallback counter advances).
+func (f *Forecaster) Forecast(out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, f.n)
+	}
+	if f.count == 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return out
+	}
+	if f.FallingBack() {
+		f.fallbacks++
+		copy(out, f.last)
+		return out
+	}
+	copy(out, f.pred)
+	return out
+}
+
+// ForecastAhead is Forecast at horizon h ≥ 1: the per-rank load forecast h
+// iterations past the latest observation. A controller that re-solves
+// against the mid-validity horizon of its assignment (instead of the very
+// next iteration) halves the drift error the assignment accumulates over
+// its lifetime. The guard applies exactly as in Forecast — a fallback
+// answers with the last observation at every horizon — but ForecastAhead
+// does not advance the fallback counter, which tracks only the
+// once-per-iteration trigger path.
+func (f *Forecaster) ForecastAhead(h int, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, f.n)
+	}
+	if f.count == 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return out
+	}
+	if h < 1 {
+		h = 1
+	}
+	if f.FallingBack() {
+		copy(out, f.last)
+		return out
+	}
+	if h == 1 {
+		copy(out, f.pred)
+		return out
+	}
+	f.forecastInto(h, out)
+	return out
+}
+
+// Level writes the forecaster's de-noised estimate of the current per-rank
+// load level into out (allocating when nil): the EWMA level, or the mean of
+// the linear model's current fit segment. Unlike Forecast it bypasses the
+// skill guard — a mean is a state estimate, not a trend extrapolation — so a
+// controller can consolidate an assignment made from a single noisy
+// observation (the emergency re-solve right after a structural break) as
+// soon as a few same-regime samples have accumulated, without waiting for
+// the model to re-earn the guard's trust.
+func (f *Forecaster) Level(out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, f.n)
+	}
+	if f.count == 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return out
+	}
+	if f.cfg.Kind == KindEWMA {
+		copy(out, f.level)
+		return out
+	}
+	m := f.fitLen
+	if m > f.cfg.Window {
+		m = f.cfg.Window
+	}
+	for r := 0; r < f.n; r++ {
+		ref := f.last[r]
+		var dev float64
+		for i := 0; i < m; i++ {
+			dev += f.hist[((f.count-m+i)%f.cfg.Window)*f.n+r] - ref
+		}
+		out[r] = ref + dev/float64(m)
+	}
+	return out
+}
+
+// Stats reports the forecaster's observation count and tracked skill.
+func (f *Forecaster) Stats() Stats {
+	return Stats{
+		Observations: f.count,
+		Fallbacks:    f.fallbacks,
+		Breaks:       f.breaks,
+		ModelErr:     f.modelSum,
+		NaiveErr:     f.naiveSum,
+	}
+}

@@ -1,0 +1,265 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// series materializes a drift model as per-iteration load vectors over a
+// fixed base shape — the same quantity the rebalance loop observes.
+func series(t testing.TB, d workload.Drift, n, iters int) [][]float64 {
+	t.Helper()
+	factors, err := d.Factors(n, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, iters)
+	for i, row := range factors {
+		out[i] = make([]float64, n)
+		for r, f := range row {
+			base := 1 + 0.5*float64(r)/float64(n-1) // ascending base loads
+			out[i][r] = base * f
+		}
+	}
+	return out
+}
+
+// TestExactIdentityOnConstantSeries pins the package's bit-exactness
+// contract: on a drift-free series (DriftNone, no jitter) both models must
+// forecast every rank's load exactly — not approximately — so drift-free
+// closed loops stay bit-identical to their reactive counterparts.
+func TestExactIdentityOnConstantSeries(t *testing.T) {
+	const n, iters = 16, 40
+	obs := series(t, workload.Drift{Kind: workload.DriftNone}, n, iters)
+	for _, kind := range []Kind{KindEWMA, KindLinear} {
+		f, err := New(n, Config{Kind: kind, Window: 8, Guard: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range obs {
+			if err := f.Observe(x); err != nil {
+				t.Fatal(err)
+			}
+			got := f.Forecast(nil)
+			for r := range got {
+				if got[r] != x[r] {
+					t.Fatalf("%s: iteration %d rank %d: forecast %v != observation %v (must be bit-identical)",
+						kind, i, r, got[r], x[r])
+				}
+			}
+			for _, h := range []int{2, 5} {
+				ahead := f.ForecastAhead(h, nil)
+				for r := range ahead {
+					if ahead[r] != x[r] {
+						t.Fatalf("%s: iteration %d rank %d horizon %d: forecast %v != observation %v",
+							kind, i, r, h, ahead[r], x[r])
+					}
+				}
+			}
+		}
+		st := f.Stats()
+		if st.ModelErr != 0 || st.NaiveErr != 0 {
+			t.Errorf("%s: constant series accumulated error (model %v, naive %v)", kind, st.ModelErr, st.NaiveErr)
+		}
+		if st.Breaks != 0 {
+			t.Errorf("%s: constant series detected %d structural breaks", kind, st.Breaks)
+		}
+	}
+}
+
+// forecastErr scores a forecaster's raw one-step error on a drift series,
+// skipping the first skip iterations so differently-sized windows are
+// compared on the same scored steps. Returns the mean per-rank absolute
+// error normalized by the mean absolute load.
+func forecastErr(t *testing.T, cfg Config, obs [][]float64, skip int) float64 {
+	t.Helper()
+	n := len(obs[0])
+	f, err := New(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, n)
+	var errSum, loadSum float64
+	var steps int
+	for i, x := range obs {
+		if i >= skip {
+			for r := range x {
+				errSum += math.Abs(pred[r] - x[r])
+				loadSum += math.Abs(x[r])
+			}
+			steps++
+		}
+		if err := f.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+		f.Forecast(pred)
+	}
+	if steps == 0 || loadSum == 0 {
+		t.Fatal("forecastErr scored nothing")
+	}
+	return errSum / loadSum
+}
+
+// TestLinearErrorBoundedAndMonotoneOnRamp is the accuracy property on the
+// forecastable scenario: per-rank loads drift linearly (DriftRamp) under 2%
+// jitter, so the linear model's one-step error is pure noise — it must stay
+// small, and it must shrink as the fit window grows (more observations
+// average more jitter out of the slope). Windows are compared on the same
+// scored steps (all past the largest warm-up).
+func TestLinearErrorBoundedAndMonotoneOnRamp(t *testing.T) {
+	const n, iters, skip = 32, 120, 25
+	windows := []int{3, 6, 12, 24}
+	for seed := int64(1); seed <= 3; seed++ {
+		drift := workload.Drift{Kind: workload.DriftRamp, Magnitude: 0.5, Jitter: 0.02, Seed: seed}
+		obs := series(t, drift, n, iters)
+		prev := math.Inf(1)
+		for _, w := range windows {
+			e := forecastErr(t, Config{Kind: KindLinear, Window: w, Guard: -1}, obs, skip)
+			if e > 0.05 {
+				t.Errorf("seed %d window %d: linear forecast error %.4f above 5%% of mean load", seed, w, e)
+			}
+			if e >= prev {
+				t.Errorf("seed %d: error not monotone improving with window: %.5f (window %d) >= %.5f", seed, e, w, prev)
+			}
+			prev = e
+		}
+		// EWMA lags a trend, so it is worse than the trend model here —
+		// but still bounded (the ramp moves slowly per iteration).
+		if e := forecastErr(t, Config{Kind: KindEWMA, Window: 12, Guard: -1}, obs, skip); e > 0.10 {
+			t.Errorf("seed %d: EWMA forecast error %.4f above 10%% of mean load", seed, e)
+		}
+	}
+}
+
+// TestGuardRejectsMartingale checks the fallback guard's reason for
+// existing: a random walk's optimal predictor is the last observation, so
+// the model must not stay trusted there — while on the trending ramp it
+// must leave fallback once warmed up.
+func TestGuardRejectsMartingale(t *testing.T) {
+	const n, iters = 32, 120
+	count := func(d workload.Drift) (fallbacks int) {
+		obs := series(t, d, n, iters)
+		f, err := New(n, Config{Kind: KindLinear, Window: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range obs {
+			if err := f.Observe(x); err != nil {
+				t.Fatal(err)
+			}
+			if f.FallingBack() {
+				fallbacks++
+			}
+		}
+		return fallbacks
+	}
+	// Walk steps (5% log-scale) dominate the 2% jitter, so the series is a
+	// genuine martingale at the observation scale — persistence is optimal
+	// and the model must not be trusted for long.
+	walk := count(workload.Drift{Kind: workload.DriftWalk, Magnitude: 0.05, Jitter: 0.02, Seed: 7})
+	if walk < iters*3/4 {
+		t.Errorf("walk: model trusted on a martingale %d of %d iterations", iters-walk, iters)
+	}
+	ramp := count(workload.Drift{Kind: workload.DriftRamp, Magnitude: 0.5, Jitter: 0.02, Seed: 7})
+	if ramp > iters/2 {
+		t.Errorf("ramp: model fell back %d of %d iterations on a forecastable trend", ramp, iters)
+	}
+}
+
+// TestBreakResetOnStep checks the structural-break detector: a mid-series
+// level shift (DriftStep) must reset the fit instead of letting a linear
+// fit across the discontinuity extrapolate a spurious trend, and the
+// post-break forecast must sit near the new level immediately.
+func TestBreakResetOnStep(t *testing.T) {
+	const n, iters, stepAt = 32, 60, 30
+	drift := workload.Drift{Kind: workload.DriftStep, Magnitude: 0.5, Jitter: 0.02, StepAt: stepAt, Seed: 5}
+	obs := series(t, drift, n, iters)
+	f, err := New(n, Config{Kind: KindLinear, Window: 12, Guard: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, n)
+	for i, x := range obs {
+		if err := f.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+		f.Forecast(pred)
+		if i == stepAt {
+			if f.Stats().Breaks != 1 {
+				t.Fatalf("observing the step did not reset the fit (breaks=%d)", f.Stats().Breaks)
+			}
+			// With the fit reset, the forecast is the post-step observation
+			// itself, not a line extrapolated across the jump.
+			for r := range pred {
+				if math.Abs(pred[r]-x[r]) > 1e-12 {
+					t.Fatalf("rank %d: post-break forecast %v, want the post-step observation %v", r, pred[r], x[r])
+				}
+			}
+		}
+	}
+	if b := f.Stats().Breaks; b != 1 {
+		t.Errorf("%d structural breaks over the run, want exactly 1 (the step)", b)
+	}
+}
+
+// TestKindRoundTrip pins the enum wire names and the count-derived parse
+// bound: every valid kind must round-trip through String/ParseKind, so a
+// future variant added above kindCount is parseable by construction.
+func TestKindRoundTrip(t *testing.T) {
+	for k := Kind(0); k <= maxKind; k++ {
+		s := k.String()
+		got, err := ParseKind(s)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", s, err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %d want %d", s, got, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+	if _, err := ParseKind("Kind(7)"); err == nil {
+		t.Error("ParseKind accepted an out-of-range formatted name")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(0, DefaultConfig()); err == nil {
+		t.Error("New accepted zero ranks")
+	}
+	bad := []Config{
+		{Kind: Kind(99)},
+		{Kind: KindLinear, Window: 1},
+		{Kind: KindLinear, Window: -2},
+		{Kind: KindEWMA, Alpha: 1.5},
+		{Kind: KindEWMA, Alpha: -0.1},
+		{Kind: KindLinear, Guard: math.NaN()},
+		{Kind: KindLinear, Guard: math.Inf(1)},
+	}
+	for _, cfg := range bad {
+		if _, err := New(4, cfg); err == nil {
+			t.Errorf("New accepted invalid config %+v", cfg)
+		}
+	}
+	f, err := New(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Observe([]float64{1, 2, 3}); err == nil {
+		t.Error("Observe accepted a narrow observation")
+	}
+	// Before any observation the forecast is all zeros at every horizon.
+	for _, v := range f.Forecast(nil) {
+		if v != 0 {
+			t.Error("pre-observation forecast not zero")
+		}
+	}
+	for _, v := range f.ForecastAhead(4, nil) {
+		if v != 0 {
+			t.Error("pre-observation horizon forecast not zero")
+		}
+	}
+}

@@ -72,6 +72,34 @@ func BenchmarkRebalanceWRF128(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictiveRebalanceWRF128 is the predictive-policy counterpart
+// of BenchmarkRebalanceWRF128: the same warm-cache closed loop with the
+// per-rank forecaster observing every iteration and every re-solve
+// targeting the forecast loads. The delta against the threshold benchmark
+// is the anticipation layer's steady-state overhead (O(ranks × window) per
+// iteration — it must stay a rounding error next to the retiming).
+func BenchmarkPredictiveRebalanceWRF128(b *testing.B) {
+	tr := wrfTrace(b)
+	set, err := dvfs.Uniform(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := dimemas.NewReplayCache()
+	cfg := benchConfig(tr, set, false)
+	cfg.Policy = PolicyPredictive
+	cfg.Cache = cache
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRebalanceWRF128Fresh is the comparison arm: identical loop,
 // identical results, but every iteration pays a drifted-trace rebuild plus
 // two full replays.

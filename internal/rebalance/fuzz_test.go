@@ -1,0 +1,33 @@
+package rebalance
+
+import "testing"
+
+// FuzzParsePolicy asserts the policy parser never panics, accepts exactly
+// the wire names PolicyNames advertises, and that every accepted value
+// round-trips through String.
+func FuzzParsePolicy(f *testing.F) {
+	for _, name := range PolicyNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("THRESHOLD")
+	f.Add("Policy(3)")
+	f.Add("predictive-")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			for _, name := range PolicyNames() {
+				if in == name {
+					t.Fatalf("ParsePolicy rejected the advertised name %q: %v", in, err)
+				}
+			}
+			return
+		}
+		if p < 0 || p > maxPolicy {
+			t.Fatalf("ParsePolicy(%q) = %d, outside [0, %d]", in, p, maxPolicy)
+		}
+		if p.String() != in {
+			t.Fatalf("round trip broken: ParsePolicy(%q) = %v, String() = %q", in, p, p.String())
+		}
+	})
+}

@@ -27,6 +27,21 @@
 //     redistribution, and gear vectors always satisfy the peak cap (the
 //     all-compute peak bound is load-independent, so the budget holds on
 //     every iteration regardless of drift).
+//   - PolicyPredictive — anticipate instead of react: a per-rank load
+//     forecaster (internal/predict) extrapolates the observed loads one
+//     iteration ahead, the trigger fires on the *predicted* balance of the
+//     next iteration, and the re-solve targets the forecast load vector —
+//     so the new assignment lands on the iteration the drift arrives, not
+//     Hysteresis iterations after it has bitten. While the forecaster's
+//     fallback guard is active (warm-up, or a series the model cannot beat
+//     persistence on — a random walk), the policy degrades to exactly the
+//     threshold trigger, so it never chases noise the reactive policy
+//     would have ignored.
+//   - PolicyPredictiveCapped — the predictive trigger under a fixed peak
+//     power budget: every forecast-driven re-solve delegates to
+//     internal/powercap's redistribution over the *forecast* loads,
+//     shifting budget headroom toward the predicted critical rank (watts,
+//     not just gears, move ahead of the drift).
 //
 // Every simulated iteration is exact: the base iteration's timing skeleton
 // is recorded once (dimemas.ReplayCache.SkeletonForSlice) and each
@@ -41,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dimemas"
@@ -48,6 +64,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/powercap"
+	"repro/internal/predict"
 	"repro/internal/stagerr"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
@@ -69,6 +86,20 @@ const (
 	// PolicyCapped is PolicyThreshold under a peak cluster power budget,
 	// delegating every assignment to internal/powercap.
 	PolicyCapped
+	// PolicyPredictive re-solves against the forecast load vector when the
+	// predicted balance of the next iteration crosses the trigger.
+	PolicyPredictive
+	// PolicyPredictiveCapped is PolicyPredictive under a peak cluster power
+	// budget: forecast-driven power redistribution via internal/powercap.
+	PolicyPredictiveCapped
+
+	// policyCount counts the variants; maxPolicy is the last valid one.
+	// New policies must be added above policyCount so the parse and
+	// validation ranges extend automatically instead of silently
+	// truncating (the bug class a hand-written `p <= PolicyCapped` bound
+	// reintroduces with every new variant).
+	policyCount
+	maxPolicy = policyCount - 1
 )
 
 func (p Policy) String() string {
@@ -81,19 +112,40 @@ func (p Policy) String() string {
 		return "threshold"
 	case PolicyCapped:
 		return "capped"
+	case PolicyPredictive:
+		return "predictive"
+	case PolicyPredictiveCapped:
+		return "predictive-capped"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
 }
 
+// capped reports whether the policy schedules under a power budget.
+func (p Policy) capped() bool { return p == PolicyCapped || p == PolicyPredictiveCapped }
+
+// predictive reports whether the policy triggers on forecast loads.
+func (p Policy) predictive() bool { return p == PolicyPredictive || p == PolicyPredictiveCapped }
+
+// PolicyNames lists every valid policy's wire name, in enum order.
+func PolicyNames() []string {
+	out := make([]string, 0, int(policyCount))
+	for p := PolicyNever; p <= maxPolicy; p++ {
+		out = append(out, p.String())
+	}
+	return out
+}
+
 // ParsePolicy is the inverse of Policy.String (for wire and CLI use).
 func ParsePolicy(s string) (Policy, error) {
-	for p := PolicyNever; p <= PolicyCapped; p++ {
+	for p := PolicyNever; p <= maxPolicy; p++ {
 		if p.String() == s {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("rebalance: unknown policy %q (want never, every-k, threshold or capped)", s)
+	names := PolicyNames()
+	return 0, fmt.Errorf("rebalance: unknown policy %q (want %s or %s)",
+		s, strings.Join(names[:len(names)-1], ", "), names[len(names)-1])
 }
 
 // Config parameterizes one closed-loop rebalancing run.
@@ -147,6 +199,19 @@ type Config struct {
 	// required before PolicyThreshold/PolicyCapped re-solves (default 2),
 	// so one noisy iteration does not trigger a rebalance.
 	Hysteresis int
+	// Predict configures the per-rank load forecaster of the predictive
+	// policies (the zero value selects predict.DefaultConfig). Must stay
+	// zero for the reactive policies, which never forecast.
+	Predict predict.Config
+	// Horizon is the number of iterations ahead a predictive re-solve
+	// targets (default 3). Balancing the forecast loads Horizon iterations
+	// out makes the assignment slightly early on arrival, exact
+	// mid-validity, and slightly stale near the end — halving the drift
+	// error a land-exact assignment accumulates over its lifetime and
+	// stretching the interval until the trigger fires again (fewer
+	// re-solves, less overhead). The trigger itself always watches one
+	// iteration ahead. Predictive policies only; must stay zero otherwise.
+	Horizon int
 	// Margin is the guard band left below the balancing target on every
 	// re-solve (core.Balancer.Margin): gears are chosen so ranks finish in
 	// (1−Margin)·target, absorbing iteration-to-iteration load noise that
@@ -226,6 +291,10 @@ type Result struct {
 	// MeanLB and MinLB summarize the executed-balance series — how close
 	// to balanced the controller kept the run, and its worst excursion.
 	MeanLB, MinLB float64
+	// Forecast reports the predictive policies' forecaster skill
+	// (observation count, fallback count, rolling model-vs-naive error);
+	// nil for the reactive policies.
+	Forecast *predict.Stats
 	// FinalGears is the per-rank gear vector after the last iteration.
 	FinalGears []dvfs.Gear
 }
@@ -240,6 +309,9 @@ var (
 	ErrCapWithoutPolicy = errors.New("rebalance: cap applies only to the capped policy")
 	// ErrCapRequired reports a missing cap for the capped policy.
 	ErrCapRequired = errors.New("rebalance: capped policy needs a positive cap")
+	// ErrPredictWithoutPolicy reports a forecaster config on a policy that
+	// never forecasts.
+	ErrPredictWithoutPolicy = errors.New("rebalance: predict config applies only to the predictive policies")
 )
 
 func (c *Config) normalize() error {
@@ -273,7 +345,7 @@ func (c *Config) normalize() error {
 	if c.Iterations < 0 {
 		return fmt.Errorf("rebalance: negative iterations %d", c.Iterations)
 	}
-	if c.Policy < PolicyNever || c.Policy > PolicyCapped {
+	if c.Policy < PolicyNever || c.Policy > maxPolicy {
 		return fmt.Errorf("rebalance: unknown policy %d", int(c.Policy))
 	}
 	if c.Period == 0 {
@@ -294,15 +366,33 @@ func (c *Config) normalize() error {
 	if c.Hysteresis < 0 {
 		return fmt.Errorf("rebalance: negative hysteresis %d", c.Hysteresis)
 	}
-	if c.Policy == PolicyCapped {
+	if c.Policy.capped() {
 		if c.Cap <= 0 || math.IsNaN(c.Cap) || math.IsInf(c.Cap, 0) {
 			return ErrCapRequired
 		}
 		if c.Set.Continuous() {
-			return fmt.Errorf("rebalance: capped policy needs a discrete gear set, got %s", c.Set.Name())
+			return fmt.Errorf("rebalance: %s policy needs a discrete gear set, got %s", c.Policy, c.Set.Name())
 		}
 	} else if c.Cap != 0 {
 		return ErrCapWithoutPolicy
+	}
+	if c.Policy.predictive() {
+		if c.Predict == (predict.Config{}) {
+			c.Predict = predict.DefaultConfig()
+		}
+		if c.Horizon == 0 {
+			c.Horizon = 3
+		}
+		if c.Horizon < 0 {
+			return fmt.Errorf("rebalance: negative horizon %d", c.Horizon)
+		}
+	} else {
+		if c.Predict != (predict.Config{}) {
+			return ErrPredictWithoutPolicy
+		}
+		if c.Horizon != 0 {
+			return fmt.Errorf("rebalance: horizon applies only to the predictive policies, got %d", c.Horizon)
+		}
 	}
 	if c.Margin < 0 || c.Margin >= 1 || math.IsNaN(c.Margin) {
 		return fmt.Errorf("rebalance: margin %v outside [0, 1)", c.Margin)
@@ -328,6 +418,9 @@ type loop struct {
 	sd       []float64 // per rank: slowdown of the current gear
 	chat     []float64 // per rank: observed compute de-scaled to FMax
 	c0       []float64 // per rank: base-iteration compute at FMax (trace sums)
+	fc       *predict.Forecaster
+	fcast    []float64 // per rank: forecast load for the next iteration
+	fcomp    []float64 // per rank: predicted executed compute (fcast × sd)
 	capScale []float64 // per rank: capability stretch baked into replays (nil: nominal)
 	pscale   []float64 // per rank: power multipliers (nil: homogeneous)
 	usage    []power.Usage
@@ -402,6 +495,14 @@ func run(cfg Config) (*Result, error) {
 			l.pscale[r] = machine.RankPowerScale(r)
 		}
 	}
+	if cfg.Policy.predictive() {
+		l.fc, err = predict.New(n, cfg.Predict)
+		if err != nil {
+			return nil, stagerr.Wrap(stagerr.Validate, err)
+		}
+		l.fcast = make([]float64, n)
+		l.fcomp = make([]float64, n)
+	}
 	if !cfg.FreshReplays {
 		l.skel, err = cfg.Cache.SkeletonForSliceMachine(cfg.Trace, 0, base, machine, opts)
 		if err != nil {
@@ -424,7 +525,7 @@ func run(cfg Config) (*Result, error) {
 		nomGears[r] = nominal
 		l.gears[r] = nominal
 	}
-	if cfg.Policy == PolicyCapped {
+	if cfg.Policy.capped() {
 		if err := l.cappedColdStart(); err != nil {
 			return nil, err
 		}
@@ -445,6 +546,8 @@ func run(cfg Config) (*Result, error) {
 		violations int     // consecutive threshold violations
 		rebalanced bool    // gears changed before the upcoming iteration
 		lbSum      float64 // running MeanLB numerator
+		breaksSeen int     // forecaster structural breaks already handled
+		refineAt   = -1    // iteration of the pending post-break consolidation re-solve
 	)
 	for it := 0; it < cfg.Iterations; it++ {
 		if cfg.Ctx != nil {
@@ -509,6 +612,22 @@ func run(cfg Config) (*Result, error) {
 			break
 		}
 		l.observe(exec)
+		if l.fc != nil {
+			// Feed the forecaster every iteration, whether or not a re-solve
+			// triggers, so the model tracks the series continuously.
+			if err := l.fc.Observe(l.chat); err != nil {
+				return nil, err
+			}
+			if st := l.fc.Stats(); st.Breaks > breaksSeen {
+				// Structural break: the emergency re-solve below will target
+				// a single post-break observation. Schedule one consolidation
+				// re-solve for when the fit window has refilled with the new
+				// regime, to shed that sample's jitter.
+				breaksSeen = st.Breaks
+				refineAt = it + cfg.Predict.Window
+			}
+			l.fcast = l.fc.Forecast(l.fcast)
+		}
 		solve := false
 		switch {
 		case !solved:
@@ -517,6 +636,42 @@ func run(cfg Config) (*Result, error) {
 		case cfg.Policy == PolicyNever:
 		case cfg.Policy == PolicyEveryK:
 			solve = it-lastSolve >= cfg.Period
+		case cfg.Policy.predictive():
+			if lbRef < 0 {
+				// First iteration executed with the current assignment:
+				// its balance is the reference the trigger degrades from.
+				lbRef = lb
+				break
+			}
+			// Watch the *predicted* executed balance of the next iteration
+			// under the current gears: forecast load × current slowdown.
+			// With the fallback guard active the forecast is the last
+			// observation, the predicted balance equals the observed one,
+			// and the policy degrades to exactly the threshold trigger.
+			watch := lb
+			for r := range l.fcomp {
+				l.fcomp[r] = l.fcast[r] * l.sd[r]
+			}
+			if plb, err := metrics.LoadBalance(l.fcomp); err == nil {
+				watch = plb
+			}
+			if watch < lbRef-cfg.Threshold {
+				violations++
+			} else {
+				violations = 0
+			}
+			// A trusted forecast already smooths jitter, and waiting for
+			// hysteresis would forfeit the anticipation the forecast buys;
+			// only the fallback (reactive) mode keeps the hysteresis debounce.
+			need := 1
+			if l.fc.FallingBack() {
+				need = cfg.Hysteresis
+			}
+			solve = violations >= need
+			if refineAt >= 0 && it >= refineAt && !l.fc.FallingBack() {
+				solve = true
+				refineAt = -1
+			}
 		default: // PolicyThreshold, PolicyCapped
 			if lbRef < 0 {
 				// First iteration executed with the current assignment:
@@ -560,6 +715,10 @@ func run(cfg Config) (*Result, error) {
 	res.MeanLB = lbSum / float64(len(res.Iterations))
 	res.Norm = metrics.NewResult(res.OrigEnergy, res.OrigTime, res.TotalEnergy, res.TotalTime)
 	res.FinalGears = append([]dvfs.Gear(nil), l.gears...)
+	if l.fc != nil {
+		st := l.fc.Stats()
+		res.Forecast = &st
+	}
 	return res, nil
 }
 
@@ -623,37 +782,48 @@ func (l *loop) observe(exec *dimemas.Result) {
 	}
 }
 
-// solve computes a fresh gear vector from the observed loads.
+// solve computes a fresh gear vector from the observed loads — or, for the
+// predictive policies, from the forecast loads, so the assignment targets
+// where the load is going rather than where it was.
 func (l *loop) solve() ([]dvfs.Gear, error) {
 	cfg := l.cfg
-	if cfg.Policy == PolicyCapped {
-		return l.solveCapped()
+	loads := l.chat
+	if cfg.Policy.predictive() {
+		// Target the mid-validity horizon of the new assignment, not the
+		// very next iteration (with the guard active this is still the last
+		// observation — exactly the reactive target).
+		loads = l.fc.ForecastAhead(cfg.Horizon, l.fcast)
+	}
+	if cfg.Policy.capped() {
+		return l.solveCapped(loads)
 	}
 	var fmaxes []float64
 	if l.machine.Cap != nil {
 		fmaxes = l.machine.Cap.FMax
 	}
 	balancer := &core.Balancer{Set: cfg.Set, Beta: cfg.Beta, FMax: cfg.FMax, Margin: cfg.Margin, FMaxes: fmaxes}
-	a, err := balancer.Assign(cfg.Algorithm, l.chat)
+	a, err := balancer.Assign(cfg.Algorithm, loads)
 	if err != nil {
 		return nil, err
 	}
 	return a.Gears, nil
 }
 
-// solveCapped delegates to the power-cap scheduler: the observed loads are
-// written onto the base iteration's structure and redistributed under the
-// peak budget. The observed times carry the machine's capability stretch
-// (it is baked into every replay), and the scheduler re-applies that
-// stretch on its own machine replay — so the per-rank factor divides it
-// back out, leaving only the genuine drift.
-func (l *loop) solveCapped() ([]dvfs.Gear, error) {
+// solveCapped delegates to the power-cap scheduler: the given loads
+// (observed, or forecast for the predictive policy) are written onto the
+// base iteration's structure and redistributed under the peak budget —
+// budget headroom moves toward the (predicted) critical rank. The load
+// times carry the machine's capability stretch (it is baked into every
+// replay), and the scheduler re-applies that stretch on its own machine
+// replay — so the per-rank factor divides it back out, leaving only the
+// genuine drift.
+func (l *loop) solveCapped(loads []float64) ([]dvfs.Gear, error) {
 	cfg := l.cfg
 	obs := l.base.ScaleCompute(func(r int, _ trace.Record) float64 {
 		if l.c0[r] <= 0 {
 			return 1 // idle rank: nothing to scale
 		}
-		f := l.chat[r] / l.c0[r]
+		f := loads[r] / l.c0[r]
 		if l.capScale != nil {
 			f /= l.capScale[r]
 		}
@@ -670,7 +840,11 @@ func (l *loop) solveCapped() ([]dvfs.Gear, error) {
 		Beta:     cfg.Beta,
 		BetaSet:  true,
 		FMax:     cfg.FMax,
-		Ctx:      cfg.Ctx,
+		// Under FreshReplays the whole loop — including every re-solve's
+		// candidate scoring — runs on fresh Simulate calls; results are
+		// bit-identical either way (powercap's own guarantee).
+		FreshReplays: cfg.FreshReplays,
+		Ctx:          cfg.Ctx,
 	})
 	if err != nil {
 		return nil, err

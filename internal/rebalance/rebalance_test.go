@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -360,15 +361,34 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestParsePolicy round-trips every valid policy through String/ParsePolicy
+// using the count-derived bound, so a policy added above policyCount is
+// covered by construction — a hand-written `p <= PolicyCapped` loop here
+// silently stopped covering new variants once before.
 func TestParsePolicy(t *testing.T) {
-	for p := PolicyNever; p <= PolicyCapped; p++ {
-		got, err := ParsePolicy(p.String())
-		if err != nil || got != p {
-			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+	seen := map[string]bool{}
+	for p := PolicyNever; p <= maxPolicy; p++ {
+		s := p.String()
+		if strings.HasPrefix(s, "Policy(") {
+			t.Fatalf("policy %d has no wire name", int(p))
 		}
+		if seen[s] {
+			t.Fatalf("duplicate wire name %q", s)
+		}
+		seen[s] = true
+		got, err := ParsePolicy(s)
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if names := PolicyNames(); len(names) != int(policyCount) {
+		t.Errorf("PolicyNames lists %d names, want %d", len(names), int(policyCount))
 	}
 	if _, err := ParsePolicy("sometimes"); err == nil {
 		t.Error("unknown policy name accepted")
+	}
+	if _, err := ParsePolicy(Policy(policyCount).String()); err == nil {
+		t.Error("out-of-range formatted name accepted")
 	}
 }
 

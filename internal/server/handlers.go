@@ -437,6 +437,10 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		pcfg, err := req.Predict.config()
+		if err != nil {
+			return nil, err
+		}
 		tr, err := s.traceFor(ctx, req.Trace)
 		if err != nil {
 			return nil, err
@@ -466,6 +470,8 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
 				Period:           req.Period,
 				Threshold:        req.Threshold,
 				Hysteresis:       req.Hysteresis,
+				Predict:          pcfg,
+				Horizon:          req.Horizon,
 				Margin:           req.Margin,
 				Cap:              req.Cap,
 				ReassignOverhead: req.ReassignOverhead,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/gearopt"
 	"repro/internal/powercap"
+	"repro/internal/predict"
 	"repro/internal/rebalance"
 	"repro/internal/stagerr"
 	"repro/internal/timemodel"
@@ -593,18 +594,60 @@ func (d *DriftSpec) drift() (workload.Drift, error) {
 	return out, nil
 }
 
+// PredictSpec configures the predictive policies' per-rank load forecaster.
+// Omitted fields inherit predict.DefaultConfig (linear model, 8-observation
+// window, skill guard at 1.0).
+type PredictSpec struct {
+	// Kind is the model: "linear" (default) or "ewma".
+	Kind string `json:"kind,omitempty"`
+	// Window is the fit and skill-tracking window (observations).
+	Window int `json:"window,omitempty"`
+	// Alpha is the EWMA smoothing factor in (0, 1].
+	Alpha float64 `json:"alpha,omitempty"`
+	// Guard is the fallback threshold (model error vs naive error);
+	// negative disables the guard.
+	Guard float64 `json:"guard,omitempty"`
+}
+
+// config builds the predict.Config the spec describes. A nil spec yields
+// the zero config, which the rebalance loop resolves to the default for
+// predictive policies (and requires for the reactive ones).
+func (p *PredictSpec) config() (predict.Config, error) {
+	if p == nil {
+		return predict.Config{}, nil
+	}
+	cfg := predict.DefaultConfig()
+	if p.Kind != "" {
+		k, err := predict.ParseKind(strings.ToLower(p.Kind))
+		if err != nil {
+			return predict.Config{}, stagerr.Errorf(stagerr.Validate, "%w", err)
+		}
+		cfg.Kind = k
+	}
+	if p.Window != 0 {
+		cfg.Window = p.Window
+	}
+	if p.Alpha != 0 {
+		cfg.Alpha = p.Alpha
+	}
+	if p.Guard != 0 {
+		cfg.Guard = p.Guard
+	}
+	return cfg, nil
+}
+
 // RebalanceRequest is the body of POST /v1/rebalance: simulate an
 // application over N online iterations with drifting per-rank load and a
 // pluggable rebalancing policy (see internal/rebalance).
 type RebalanceRequest struct {
 	Trace TraceRef `json:"trace"`
-	// GearSet must describe a discrete set for the capped policy.
+	// GearSet must describe a discrete set for the capped policies.
 	GearSet GearSetSpec `json:"gear_set"`
 	// Algorithm selects the per-re-solve balancing rule: "MAX" (default)
-	// or "AVG". Ignored by the capped policy.
+	// or "AVG". Ignored by the capped policies.
 	Algorithm string `json:"algorithm,omitempty"`
-	// Policy is one of "never", "every-k", "threshold" (default) or
-	// "capped".
+	// Policy is one of "never", "every-k", "threshold" (default),
+	// "capped", "predictive" or "predictive-capped".
 	Policy string `json:"policy,omitempty"`
 	// Iterations is the number of online iterations (default 20, max 500).
 	Iterations int `json:"iterations,omitempty"`
@@ -623,6 +666,12 @@ type RebalanceRequest struct {
 	// ExactPeaks reports exact per-iteration profile peaks instead of the
 	// all-compute bound.
 	ExactPeaks bool `json:"exact_peaks,omitempty"`
+	// Predict configures the predictive policies' forecaster; must be
+	// omitted for the reactive policies.
+	Predict *PredictSpec `json:"predict,omitempty"`
+	// Horizon is the number of iterations ahead a predictive re-solve
+	// targets (default 3); predictive policies only.
+	Horizon int `json:"horizon,omitempty"`
 	// Drift describes how per-rank load evolves between iterations.
 	Drift DriftSpec `json:"drift,omitempty"`
 	// Platform optionally overrides the daemon's machine model for the
@@ -655,7 +704,25 @@ type RebalanceResponse struct {
 	GearSwitches  int                      `json:"gear_switches"`
 	MeanLB        float64                  `json:"mean_lb"`
 	MinLB         float64                  `json:"min_lb"`
-	FinalFreqs    []float64                `json:"final_freqs"`
+	// Forecast reports the predictive policies' forecaster skill; omitted
+	// for the reactive policies.
+	Forecast   *ForecastBody `json:"forecast,omitempty"`
+	FinalFreqs []float64     `json:"final_freqs"`
+}
+
+// ForecastBody is the forecaster-skill summary of a predictive run.
+type ForecastBody struct {
+	// Observations counts forecaster updates (one per iteration observed).
+	Observations int `json:"observations"`
+	// Fallbacks counts iterations answered with the last observation
+	// because the skill guard was active.
+	Fallbacks int `json:"fallbacks"`
+	// Breaks counts structural-break resets of the fit.
+	Breaks int `json:"breaks,omitempty"`
+	// ModelErr and NaiveErr are the rolling window error sums of the model
+	// and the naive last-observation predictor.
+	ModelErr float64 `json:"model_err"`
+	NaiveErr float64 `json:"naive_err"`
 }
 
 // NewRebalanceResponse builds the wire form of a closed-loop result.
@@ -687,6 +754,15 @@ func NewRebalanceResponse(res *rebalance.Result) *RebalanceResponse {
 	}
 	for r, g := range res.FinalGears {
 		out.FinalFreqs[r] = g.Freq
+	}
+	if res.Forecast != nil {
+		out.Forecast = &ForecastBody{
+			Observations: res.Forecast.Observations,
+			Fallbacks:    res.Forecast.Fallbacks,
+			Breaks:       res.Forecast.Breaks,
+			ModelErr:     res.Forecast.ModelErr,
+			NaiveErr:     res.Forecast.NaiveErr,
+		}
 	}
 	return out
 }

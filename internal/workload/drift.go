@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 )
 
 // DriftKind enumerates how per-rank computation load evolves across
@@ -34,6 +35,14 @@ const (
 	// iteration StepAt on: a sudden phase change (adaptive mesh refinement,
 	// a new input block) that tests how fast a policy re-converges.
 	DriftStep
+
+	// driftKindCount counts the variants; maxDriftKind is the last valid
+	// one. New kinds must be added above driftKindCount so the parse and
+	// validation ranges extend automatically instead of silently truncating
+	// (the bug class a hand-written `k <= DriftStep` bound reintroduces
+	// with every new variant).
+	driftKindCount
+	maxDriftKind = driftKindCount - 1
 )
 
 func (k DriftKind) String() string {
@@ -51,14 +60,25 @@ func (k DriftKind) String() string {
 	}
 }
 
+// DriftKindNames lists every valid drift kind's wire name, in enum order.
+func DriftKindNames() []string {
+	out := make([]string, 0, int(driftKindCount))
+	for k := DriftNone; k <= maxDriftKind; k++ {
+		out = append(out, k.String())
+	}
+	return out
+}
+
 // ParseDriftKind is the inverse of DriftKind.String (for wire and CLI use).
 func ParseDriftKind(s string) (DriftKind, error) {
-	for k := DriftNone; k <= DriftStep; k++ {
+	for k := DriftNone; k <= maxDriftKind; k++ {
 		if k.String() == s {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("workload: unknown drift kind %q (want none, ramp, walk or step)", s)
+	names := DriftKindNames()
+	return 0, fmt.Errorf("workload: unknown drift kind %q (want %s or %s)",
+		s, strings.Join(names[:len(names)-1], ", "), names[len(names)-1])
 }
 
 // Drift describes how per-rank computation load evolves between iterations

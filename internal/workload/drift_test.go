@@ -130,3 +130,30 @@ func TestDriftValidation(t *testing.T) {
 		t.Error("zero iterations accepted")
 	}
 }
+
+// TestDriftKindRoundTrip round-trips every valid drift kind through
+// String/ParseDriftKind using the count-derived bound, so a kind added
+// above driftKindCount is covered (and parseable) by construction.
+func TestDriftKindRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for k := DriftNone; k <= maxDriftKind; k++ {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate wire name %q", s)
+		}
+		seen[s] = true
+		got, err := ParseDriftKind(s)
+		if err != nil || got != k {
+			t.Errorf("ParseDriftKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if names := DriftKindNames(); len(names) != int(driftKindCount) {
+		t.Errorf("DriftKindNames lists %d names, want %d", len(names), int(driftKindCount))
+	}
+	if _, err := ParseDriftKind("wobble"); err == nil {
+		t.Error("unknown drift kind accepted")
+	}
+	if _, err := ParseDriftKind(DriftKind(driftKindCount).String()); err == nil {
+		t.Error("out-of-range formatted name accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package workload
+
+import "testing"
+
+// FuzzParseDriftKind asserts the drift-kind parser never panics, accepts
+// exactly the wire names DriftKindNames advertises, and that every accepted
+// value round-trips through String.
+func FuzzParseDriftKind(f *testing.F) {
+	for _, name := range DriftKindNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("RAMP")
+	f.Add("DriftKind(2)")
+	f.Add("stepp")
+	f.Fuzz(func(t *testing.T, in string) {
+		k, err := ParseDriftKind(in)
+		if err != nil {
+			for _, name := range DriftKindNames() {
+				if in == name {
+					t.Fatalf("ParseDriftKind rejected the advertised name %q: %v", in, err)
+				}
+			}
+			return
+		}
+		if k < 0 || k > maxDriftKind {
+			t.Fatalf("ParseDriftKind(%q) = %d, outside [0, %d]", in, k, maxDriftKind)
+		}
+		if k.String() != in {
+			t.Fatalf("round trip broken: ParseDriftKind(%q) = %v, String() = %q", in, k, k.String())
+		}
+	})
+}
